@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test experiments bench examples clean outputs
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+experiments:
+	dune exec bin/experiments.exe -- run all
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/config_store.exe
+	dune exec examples/scoreboard.exe
+	dune exec examples/recovery_demo.exe
+	dune exec examples/kv_demo.exe
+
+# The final artifacts recorded in the repository.
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+	dune exec bin/experiments.exe -- run all 2>&1 | tee experiments_output.txt
+
+clean:
+	dune clean

@@ -1,0 +1,232 @@
+(* Benchmark harness (Bechamel): the quantitative companion to experiment
+   E9.  Each benchmark measures one simulated operation (or one primitive)
+   end-to-end through the engine, over a persistent deployment, so the
+   numbers compare register classes and system sizes on equal footing.
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+open Registers
+
+(* A persistent deployment; each staged run drives one (or a few)
+   operations through the live engine. *)
+let deployment ?(n = 9) ?(f = 1) ?(mode = Params.Async) ?medium () =
+  let params = Params.create_unchecked ~n ~f ~mode in
+  let rng = Sim.Rng.create 99 in
+  let trace = Sim.Trace.create ~record_events:false () in
+  let engine = Sim.Engine.create ~trace ~rng:(Sim.Rng.split rng) () in
+  let lo, hi =
+    match mode with
+    | Params.Async -> (1, 10)
+    | Params.Sync { max_delay; _ } -> (1, max_delay)
+  in
+  let net =
+    Net.create ~engine ~params ?medium
+      ~link_delay:(fun rng -> Sim.Link.uniform rng ~lo ~hi)
+      ()
+  in
+  let adversary = Byzantine.Adversary.deploy ~net ~rng:(Sim.Rng.split rng) in
+  ignore adversary;
+  (engine, net)
+
+let run_op engine f =
+  let h = Sim.Fiber.spawn f in
+  Sim.Engine.run engine;
+  match Sim.Fiber.status h with
+  | Sim.Fiber.Done -> ()
+  | Sim.Fiber.Running | Sim.Fiber.Failed _ -> failwith "bench op wedged"
+
+(* --- primitives --- *)
+
+let bench_seqnum =
+  let counter = ref 0 in
+  Test.make ~name:"seqnum: succ + gt_cd"
+    (Staged.stage (fun () ->
+         counter := Seqnum.succ ~modulus:Seqnum.default_modulus !counter;
+         ignore (Seqnum.gt_cd ~modulus:Seqnum.default_modulus !counter 12345)))
+
+let bench_epoch =
+  let rng = Sim.Rng.create 5 in
+  let pool = Array.init 64 (fun _ -> Epoch.arbitrary rng ~k:4) in
+  let i = ref 0 in
+  Test.make ~name:"epoch: next_epoch + max_epoch (k=4)"
+    (Staged.stage (fun () ->
+         i := (!i + 1) mod 60;
+         let es = [ pool.(!i); pool.(!i + 1); pool.(!i + 2); pool.(!i + 3) ] in
+         ignore (Epoch.max_epoch es);
+         ignore (Epoch.next_epoch ~k:4 es)))
+
+let bench_quorum =
+  let rng = Sim.Rng.create 6 in
+  let cells =
+    List.init 17 (fun _ -> Messages.arbitrary_cell rng)
+    @ List.init 5 (fun _ -> { Messages.sn = 1; v = Value.int 1 })
+  in
+  Test.make ~name:"quorum: find among 22 acks"
+    (Staged.stage (fun () -> ignore (Quorum.find_cell ~threshold:5 cells)))
+
+(* --- registers: one write + one read per run --- *)
+
+let bench_register ~name mk =
+  let op = mk () in
+  Test.make ~name (Staged.stage op)
+
+let swsr_regular_ops ?(n = 9) ?(f = 1) () () =
+  let engine, net = deployment ~n ~f () in
+  let w = Swsr_regular.writer ~net ~client_id:1 ~inst:0 in
+  let r = Swsr_regular.reader ~net ~client_id:2 ~inst:0 in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        Swsr_regular.write w (Value.int !k);
+        ignore (Swsr_regular.read r))
+
+let swsr_atomic_ops ?(n = 9) ?(f = 1) ?(mode = Params.Async) ?medium () () =
+  let engine, net = deployment ~n ~f ~mode ?medium () in
+  let w = Swsr_atomic.writer ~net ~client_id:1 ~inst:0 () in
+  let r = Swsr_atomic.reader ~net ~client_id:2 ~inst:0 () in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        Swsr_atomic.write w (Value.int !k);
+        ignore (Swsr_atomic.read r))
+
+let swmr_ops () =
+  let engine, net = deployment () in
+  let w = Swmr.writer ~net ~client_id:1 ~base_inst:0 ~readers:3 () in
+  let r = Swmr.reader ~net ~client_id:2 ~base_inst:0 ~reader_index:0 () in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        Swmr.write w (Value.int !k);
+        ignore (Swmr.read r))
+
+let swmr_wb_ops () =
+  let engine, net = deployment () in
+  let w = Swmr_wb.writer ~net ~client_id:1 ~base_inst:0 ~readers:3 () in
+  let r = Swmr_wb.reader ~net ~client_id:2 ~base_inst:0 ~reader_index:0 ~readers:3 () in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        Swmr_wb.write w (Value.int !k);
+        ignore (Swmr_wb.read r))
+
+let kv_ops () =
+  let engine, net = deployment () in
+  let cfg = Kv.Store.config ~keys:[ "a"; "b" ] ~clients:2 in
+  let s0 = Kv.Store.client ~net ~cfg ~id:0 ~client_id:1 in
+  let s1 = Kv.Store.client ~net ~cfg ~id:1 ~client_id:2 in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        Kv.Store.set s0 ~key:"a" (Value.int !k);
+        ignore (Kv.Store.get s1 ~key:"a"))
+
+let mwmr_ops () =
+  let engine, net = deployment () in
+  let cfg = Mwmr.default_config ~m:3 in
+  let p0 = Mwmr.process ~net ~cfg ~id:0 ~client_id:1 in
+  let p1 = Mwmr.process ~net ~cfg ~id:1 ~client_id:2 in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        Mwmr.write p0 (Value.int !k);
+        ignore (Mwmr.read p1))
+
+(* --- oracles --- *)
+
+let bench_checker =
+  let h = Oracles.History.create () in
+  for i = 1 to 100 do
+    Oracles.History.record h ~proc:"w" ~kind:Oracles.History.Write
+      ~inv:(Sim.Vtime.of_int (i * 20))
+      ~resp:(Sim.Vtime.of_int ((i * 20) + 10))
+      (Value.int i);
+    Oracles.History.record h ~proc:"r" ~kind:Oracles.History.Read
+      ~inv:(Sim.Vtime.of_int ((i * 20) + 11))
+      ~resp:(Sim.Vtime.of_int ((i * 20) + 19))
+      (Value.int i)
+  done;
+  Test.make ~name:"oracle: atomicity check, 200-op history"
+    (Staged.stage (fun () -> ignore (Oracles.Atomicity.Sw.check h)))
+
+(* --- data link --- *)
+
+let altbit_ops () =
+  let s =
+    Datalink.Alt_bit.create ~rng:(Sim.Rng.create 77) ~cap:4 ~loss:0.2
+      ~dup:0.1 ()
+  in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    (match Datalink.Alt_bit.send s !k with Ok () -> () | Error e -> failwith e);
+    ignore (Datalink.Alt_bit.take_delivered s)
+
+let tests =
+  Test.make_grouped ~name:"stabreg"
+    [
+      bench_seqnum;
+      bench_epoch;
+      bench_quorum;
+      bench_checker;
+      bench_register ~name:"datalink: alt-bit handshake (loss 20%)" altbit_ops;
+      bench_register ~name:"swsr-regular: write+read (n=9)"
+        (swsr_regular_ops ());
+      bench_register ~name:"swsr-regular: write+read (n=25)"
+        (swsr_regular_ops ~n:25 ~f:3 ());
+      bench_register ~name:"swsr-atomic: write+read (n=9)"
+        (swsr_atomic_ops ());
+      bench_register ~name:"swsr-atomic: write+read (n=17)"
+        (swsr_atomic_ops ~n:17 ~f:2 ());
+      bench_register ~name:"swsr-atomic sync: write+read (n=4)"
+        (swsr_atomic_ops ~n:4 ~f:1
+           ~mode:(Params.Sync { max_delay = 10; slack = 3 })
+           ());
+      bench_register ~name:"swsr-atomic lossy 30%: write+read (n=9)"
+        (swsr_atomic_ops
+           ~medium:(Net.Stabilizing { loss = 0.3; dup = 0.1; retrans = 30 })
+           ());
+      bench_register ~name:"swmr: write+read (3 readers, n=9)" swmr_ops;
+      bench_register ~name:"swmr+write-back: write+read (3 readers, n=9)"
+        swmr_wb_ops;
+      bench_register ~name:"mwmr: write+read (m=3, n=9)" mwmr_ops;
+      bench_register ~name:"kv: set+get (m=2, n=9)" kv_ops;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "%-52s %14s %12s\n" "benchmark" "ns/op" "ops/s";
+  Printf.printf "%s\n" (String.make 80 '-');
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "%-52s %14.1f %12.0f\n" name ns (1e9 /. ns))
+    rows

@@ -1,0 +1,1 @@
+bin/common.ml: Harness List Oracles Params Printf Registers Sim Swsr_atomic Swsr_regular Value

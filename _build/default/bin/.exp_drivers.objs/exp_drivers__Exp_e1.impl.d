@@ -1,0 +1,1 @@
+bin/exp_e1.ml: Common Harness

@@ -1,0 +1,1 @@
+bin/exp_e10.ml: Byzantine Common Harness List Registers Swsr_atomic Value

@@ -1,0 +1,1 @@
+bin/exp_e11.ml: Byzantine Common Harness List Net Oracles Printf Registers Sim Swsr_atomic Value

@@ -1,0 +1,1 @@
+bin/exp_e12.ml: Common Harness List Registers Sim Swsr_atomic Value

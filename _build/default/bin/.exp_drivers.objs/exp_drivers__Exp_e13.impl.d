@@ -1,0 +1,1 @@
+bin/exp_e13.ml: Common Harness List Oracles Registers Sim Swmr Swmr_wb Value

@@ -1,0 +1,1 @@
+bin/exp_e14.ml: Byzantine Common Harness List Oracles Registers Swsr_atomic Value

@@ -1,0 +1,1 @@
+bin/exp_e2.ml: Array Byzantine Common Harness List Messages Oracles Registers Sim Swsr_atomic Value

@@ -1,0 +1,1 @@
+bin/exp_e3.ml: Byzantine Common Harness List Printf Registers Swsr_regular Value

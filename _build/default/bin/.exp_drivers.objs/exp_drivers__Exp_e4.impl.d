@@ -1,0 +1,1 @@
+bin/exp_e4.ml: Common Harness List

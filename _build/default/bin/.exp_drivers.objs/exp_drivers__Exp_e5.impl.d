@@ -1,0 +1,1 @@
+bin/exp_e5.ml: Byzantine Common Harness List Printf Registers Swsr_atomic Value

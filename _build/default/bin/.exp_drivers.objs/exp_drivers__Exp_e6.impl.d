@@ -1,0 +1,1 @@
+bin/exp_e6.ml: Array Common Harness List Mwmr Oracles Printf Registers

@@ -1,0 +1,1 @@
+bin/exp_e7.ml: Baseline Byzantine Common Harness List Messages Registers Server Swsr_atomic Swsr_regular Value

@@ -1,0 +1,1 @@
+bin/exp_e8.ml: Datalink Harness Int List Printf Sim

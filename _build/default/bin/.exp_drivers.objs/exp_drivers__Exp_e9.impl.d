@@ -1,0 +1,1 @@
+bin/exp_e9.ml: Common Harness List Mwmr Registers Swmr Swsr_atomic Swsr_regular Value

@@ -1,0 +1,47 @@
+(* Shared wiring for the experiment drivers. *)
+
+open Registers
+
+let async_params ~n ~f = Params.create_unchecked ~n ~f ~mode:Params.Async
+
+let scenario ?(seed = 1) ?delay ~params () =
+  Harness.Scenario.create ~seed ?delay ~params ()
+
+(* Spawn jobs, run the engine, fail loudly if a fiber wedged. *)
+let run_jobs scn jobs =
+  let handles =
+    List.map (fun (name, f) -> (name, Sim.Fiber.spawn ~name f)) jobs
+  in
+  Harness.Scenario.run scn;
+  List.iter
+    (fun (name, h) ->
+      match Sim.Fiber.status h with
+      | Sim.Fiber.Done -> ()
+      | Sim.Fiber.Running ->
+        failwith (Printf.sprintf "experiment fiber %s did not finish" name)
+      | Sim.Fiber.Failed e -> raise e)
+    handles
+
+let value_str = function
+  | Some v -> Value.to_string v
+  | None -> "-"
+
+let first_write_resp scn =
+  match Oracles.History.writes scn.Harness.Scenario.history with
+  | w :: _ -> Some w.Oracles.History.resp
+  | [] -> None
+
+let bool_str b = if b then "yes" else "no"
+
+(* A standard concurrent writer/reader pair over a SWSR atomic register. *)
+let atomic_pair scn =
+  let net = scn.Harness.Scenario.net in
+  let w = Swsr_atomic.writer ~net ~client_id:100 ~inst:0 () in
+  let r = Swsr_atomic.reader ~net ~client_id:101 ~inst:0 () in
+  (w, r)
+
+let regular_pair scn =
+  let net = scn.Harness.Scenario.net in
+  let w = Swsr_regular.writer ~net ~client_id:100 ~inst:0 in
+  let r = Swsr_regular.reader ~net ~client_id:101 ~inst:0 in
+  (w, r)

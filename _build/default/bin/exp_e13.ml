@@ -1,0 +1,122 @@
+(* E13 — The §5.1 SWMR composition vs. the classical reader write-back.
+
+   §5.1 composes one SWSR atomic register per reader and asserts the
+   result is an SWMR register.  Per-reader atomicity holds, but the copies
+   are written sequentially, so a scripted schedule produces a
+   cross-reader new/old inversion: reader 0 returns the new value, a
+   strictly later reader 1 returns the old one.  The classical reader
+   write-back ([13, 15]; module Registers.Swmr_wb) closes the gap at the
+   cost of extra exchange-register traffic. *)
+
+open Registers
+
+let random_workload ~seed kind =
+  let params = Common.async_params ~n:9 ~f:1 in
+  let scn = Common.scenario ~seed ~params () in
+  let net = scn.Harness.Scenario.net in
+  let h = scn.Harness.Scenario.history in
+  let record proc kind_ inv v =
+    Oracles.History.record h ~proc ~kind:kind_ ~inv
+      ~resp:(Harness.Scenario.now scn) v
+  in
+  let write, read0, read1 =
+    match kind with
+    | `Paper ->
+      let w = Swmr.writer ~net ~client_id:100 ~base_inst:0 ~readers:2 () in
+      let r0 = Swmr.reader ~net ~client_id:200 ~base_inst:0 ~reader_index:0 () in
+      let r1 = Swmr.reader ~net ~client_id:201 ~base_inst:0 ~reader_index:1 () in
+      (Swmr.write w, (fun () -> Swmr.read r0), fun () -> Swmr.read r1)
+    | `Write_back ->
+      let w = Swmr_wb.writer ~net ~client_id:100 ~base_inst:0 ~readers:2 () in
+      let r0 =
+        Swmr_wb.reader ~net ~client_id:200 ~base_inst:0 ~reader_index:0 ()
+      in
+      let r1 =
+        Swmr_wb.reader ~net ~client_id:201 ~base_inst:0 ~reader_index:1 ()
+      in
+      (Swmr_wb.write w, (fun () -> Swmr_wb.read r0), fun () -> Swmr_wb.read r1)
+  in
+  Common.run_jobs scn
+    [
+      ( "writer",
+        fun () ->
+          for i = 1 to 25 do
+            let inv = Harness.Scenario.now scn in
+            write (Value.int i);
+            record "writer" Oracles.History.Write inv (Value.int i)
+          done );
+      ( "r0",
+        fun () ->
+          let rng = Harness.Scenario.split_rng scn in
+          for _ = 1 to 20 do
+            let inv = Harness.Scenario.now scn in
+            (match read0 () with
+            | Some v -> record "r0" Oracles.History.Read inv v
+            | None -> ());
+            Harness.Scenario.sleep scn (Sim.Rng.int_in rng 0 10)
+          done );
+      ( "r1",
+        fun () ->
+          let rng = Harness.Scenario.split_rng scn in
+          for _ = 1 to 20 do
+            let inv = Harness.Scenario.now scn in
+            (match read1 () with
+            | Some v -> record "r1" Oracles.History.Read inv v
+            | None -> ());
+            Harness.Scenario.sleep scn (Sim.Rng.int_in rng 0 10)
+          done );
+    ];
+  let cutoff =
+    match Common.first_write_resp scn with Some t -> t | None -> Sim.Vtime.zero
+  in
+  let report = Oracles.Atomicity.Sw.check ~cutoff h in
+  ( List.length report.Oracles.Atomicity.Sw.inversions,
+    Harness.Scenario.messages_sent scn )
+
+let run ~seed =
+  Harness.Report.section
+    "E13: §5.1 SWMR composition vs classical reader write-back";
+  let scripted kind =
+    let o = Harness.Swmr_inversion.run kind in
+    [
+      (match kind with `Paper -> "§5.1 composition" | `Write_back -> "with write-back");
+      Common.value_str o.Harness.Swmr_inversion.read_r0;
+      Common.value_str o.Harness.Swmr_inversion.read_r1;
+      Common.bool_str o.Harness.Swmr_inversion.inversion;
+    ]
+  in
+  Harness.Report.table
+    ~title:
+      "scripted schedule: write(2) updates reader-0's copy, then stalls\n\
+       before reader-1's; reader 0 reads, then reader 1 reads"
+    ~header:[ "variant"; "reader 0"; "reader 1 (later)"; "cross-reader inversion" ]
+    [ scripted `Paper; scripted `Write_back ];
+  let seeds = 5 in
+  let rows =
+    List.map
+      (fun kind ->
+        let inv = ref 0 and msgs = ref 0 in
+        for s = 0 to seeds - 1 do
+          let i, m = random_workload ~seed:(seed + s) kind in
+          inv := !inv + i;
+          msgs := !msgs + m
+        done;
+        [
+          (match kind with
+          | `Paper -> "§5.1 composition"
+          | `Write_back -> "with write-back");
+          string_of_int !inv;
+          string_of_int (!msgs / seeds);
+        ])
+      [ `Paper; `Write_back ]
+  in
+  Harness.Report.table
+    ~title:"random concurrent workload: 25 writes vs 2x20 reads, 5 seeds"
+    ~header:[ "variant"; "cross-reader inversions"; "messages/run" ]
+    rows;
+  print_endline
+    "  Shape: the §5.1 composition is atomic per reader but admits\n\
+    \  cross-reader inversions under adversarial scheduling (random\n\
+    \  schedules rarely show them); the classical write-back eliminates\n\
+    \  them, paying ~2x the messages for two readers (one exchange-\n\
+    \  register read and write per incoming/outgoing neighbour)."

@@ -1,0 +1,1 @@
+examples/config_store.ml: Array Byzantine Harness Mwmr Params Printf Registers Sim Value

@@ -1,0 +1,1 @@
+examples/kv_demo.ml: Byzantine Harness Kv List Params Printf Registers Sim String Value

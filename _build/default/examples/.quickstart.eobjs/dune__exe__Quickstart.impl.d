@@ -1,0 +1,1 @@
+examples/quickstart.ml: Byzantine Harness List Params Printf Registers Sim Swsr_atomic Value

@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Harness Params Printf Registers Sim Swsr_atomic Value

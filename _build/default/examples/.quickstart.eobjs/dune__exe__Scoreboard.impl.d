@@ -1,0 +1,1 @@
+examples/scoreboard.ml: Array Harness Mwmr Params Printf Registers Sim Value

@@ -1,0 +1,1 @@
+examples/scoreboard.mli:

@@ -1,0 +1,53 @@
+(* The headline self-stabilization story, end to end.
+
+     dune exec examples/recovery_demo.exe
+
+   A writer/reader pair over 9 servers.  At t=400 a transient fault
+   corrupts EVERYTHING the model allows: every server's register copy and
+   helping value, the clients' data-link round tags, the messages in
+   flight, the writer's bounded sequence counter and the reader's
+   (pwsn, pv) bookkeeping.  Watch the reads: arbitrary around the fault,
+   correct again from the first post-fault write onward — Theorem 3 live. *)
+
+open Registers
+
+let () =
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let scn = Harness.Scenario.create ~seed:11 ~params () in
+  let net = scn.Harness.Scenario.net in
+  let w = Swsr_atomic.writer ~net ~client_id:1 ~inst:0 ~modulus:101 () in
+  let r = Swsr_atomic.reader ~net ~client_id:2 ~inst:0 ~modulus:101 () in
+  (* Register every corruptible piece of client state with the injector. *)
+  Harness.Scenario.register_port scn (Swsr_atomic.writer_port w);
+  Harness.Scenario.register_port scn (Swsr_atomic.reader_port r);
+  Harness.Scenario.register_atomic_writer scn ~name:"writer" w;
+  Harness.Scenario.register_atomic_reader scn ~name:"reader" r;
+  Sim.Fault.schedule scn.Harness.Scenario.fault
+    ~engine:scn.Harness.Scenario.engine ~at:(Sim.Vtime.of_int 400) ~prefix:"";
+
+  let expected = ref Value.bot in
+  ignore
+    (Sim.Fiber.spawn ~name:"writer" (fun () ->
+         for i = 1 to 30 do
+           let v = Value.int (1000 + i) in
+           Swsr_atomic.write w v;
+           expected := v;
+           Harness.Scenario.sleep scn 25
+         done));
+  ignore
+    (Sim.Fiber.spawn ~name:"reader" (fun () ->
+         for _ = 1 to 30 do
+           let t = Sim.Vtime.to_int (Harness.Scenario.now scn) in
+           (match Swsr_atomic.read r with
+           | Some v ->
+             let fresh = Value.equal v !expected in
+             Printf.printf "t=%-5d read %-14s %s\n" t (Value.to_string v)
+               (if fresh then "(current)"
+                else if t > 380 && t < 480 then "<-- fault window"
+                else "(admissible overlap)")
+           | None -> assert false);
+           Harness.Scenario.sleep scn 25
+         done));
+  Harness.Scenario.run scn;
+  print_endline "\nThe register stabilized: corruption of every component";
+  print_endline "survived exactly until the first post-fault write (Thm 3)."

@@ -1,0 +1,1 @@
+lib/byzantine/adversary.ml: Array Behavior Int List Net Params Registers Server Sim

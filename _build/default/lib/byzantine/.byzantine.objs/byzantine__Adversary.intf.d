@@ -1,0 +1,1 @@
+lib/byzantine/adversary.mli: Behavior Registers Sim

@@ -1,0 +1,1 @@
+lib/byzantine/behavior.ml: Messages Net Registers Server Sim Value

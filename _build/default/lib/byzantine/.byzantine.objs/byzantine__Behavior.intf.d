@@ -1,0 +1,1 @@
+lib/byzantine/behavior.mli: Registers Sim

@@ -1,0 +1,53 @@
+open Registers
+
+type t = {
+  net : Net.t;
+  rng : Sim.Rng.t;
+  servers : Server.t array;
+  mutable byz : int list;
+}
+
+let install_honest t i = Net.install_honest_server t.net t.servers.(i)
+
+let sync_correct t =
+  let byz = t.byz in
+  Net.set_correct t.net (fun i -> not (List.mem i byz))
+
+let deploy ~net ~rng =
+  let n = (Net.params net : Params.t).n in
+  let t =
+    { net; rng; servers = Array.init n (fun id -> Server.create ~id); byz = [] }
+  in
+  for i = 0 to n - 1 do
+    install_honest t i
+  done;
+  sync_correct t;
+  t
+
+let servers t = t.servers
+
+let server t i = t.servers.(i)
+
+let compromise t i behavior =
+  if not (List.mem i t.byz) then t.byz <- i :: t.byz;
+  let ctx = { Behavior.net = t.net; server_id = i; rng = Sim.Rng.split t.rng } in
+  (Net.endpoints t.net).(i).Net.on_deliver <- (fun env -> behavior ctx env);
+  sync_correct t
+
+let restore t i =
+  t.byz <- List.filter (fun j -> j <> i) t.byz;
+  (* A machine coming back from Byzantine control holds arbitrary state. *)
+  Server.corrupt t.servers.(i) t.rng;
+  install_honest t i;
+  sync_correct t
+
+let byzantine_ids t = List.sort Int.compare t.byz
+
+let compromise_first t ~count mk =
+  for i = 0 to count - 1 do
+    compromise t i (mk i)
+  done
+
+let move t ~from ~to_ behavior =
+  restore t from;
+  compromise t to_ behavior

@@ -1,0 +1,41 @@
+(** The adversary controller: which servers are Byzantine, with which
+    strategy, and when that set moves.
+
+    Deploying an adversary wires every server slot: honest slots run the
+    {!Registers.Server} automaton, compromised slots run a
+    {!Behavior.t}.  The controller keeps {!Registers.Net.set_correct}
+    ground truth in sync so the ss-broadcast synchronized-delivery property
+    is computed against the servers that are currently correct.
+
+    Mobile Byzantine faults (footnote 1 of the paper): {!restore} hands a
+    slot back to the honest automaton {e over arbitrary state} (the state
+    is corrupted at the hand-back, since a recovering machine remembers
+    nothing trustworthy), and {!compromise} may then strike elsewhere. *)
+
+type t
+
+val deploy :
+  net:Registers.Net.t -> rng:Sim.Rng.t -> t
+(** Create the [n] server automata and install them all honest. *)
+
+val servers : t -> Registers.Server.t array
+(** The honest automata (their state is what transient faults corrupt; a
+    compromised slot's automaton is dormant until {!restore}). *)
+
+val server : t -> int -> Registers.Server.t
+
+val compromise : t -> int -> Behavior.t -> unit
+(** Make slot [i] Byzantine with the given strategy. *)
+
+val restore : t -> int -> unit
+(** Mobile hand-back: slot [i] resumes the honest automaton over
+    arbitrary (freshly corrupted) state. *)
+
+val byzantine_ids : t -> int list
+(** Currently compromised slots, ascending. *)
+
+val compromise_first : t -> count:int -> (int -> Behavior.t) -> unit
+(** Compromise slots [0 .. count-1] (strategy chosen per slot). *)
+
+val move : t -> from:int -> to_:int -> Behavior.t -> unit
+(** Mobile step: {!restore} [from], then {!compromise} [to_]. *)

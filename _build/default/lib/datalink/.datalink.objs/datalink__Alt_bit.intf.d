@@ -1,0 +1,1 @@
+lib/datalink/alt_bit.mli: Sim

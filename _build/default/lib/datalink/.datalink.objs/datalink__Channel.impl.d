@@ -1,0 +1,1 @@
+lib/datalink/channel.ml: List Sim

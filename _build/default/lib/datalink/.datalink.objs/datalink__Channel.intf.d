@@ -1,0 +1,1 @@
+lib/datalink/channel.mli: Sim

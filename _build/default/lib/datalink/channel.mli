@@ -1,0 +1,42 @@
+(** Bounded-capacity unreliable channel — the raw medium underneath the
+    self-stabilizing data link of footnote 3 (Dolev, "Self-Stabilization",
+    §4.2).
+
+    At most [cap] packets are in transit at once.  Sends may be lost,
+    deliveries are in arbitrary order (the receiver picks a random
+    in-transit packet), a delivered packet may leave a duplicate behind,
+    and the initial content is arbitrary.  This is deliberately a much
+    weaker medium than the {!Sim.Link} FIFO links: the point of the
+    alternating-bit construction is to build the reliable ss-broadcast
+    abstraction on top of exactly this. *)
+
+type 'p t
+
+val create :
+  rng:Sim.Rng.t ->
+  cap:int ->
+  ?loss:float ->
+  ?dup:float ->
+  unit ->
+  'p t
+(** [loss] (default 0.1) is the probability a send vanishes; [dup]
+    (default 0.1) the probability a delivered packet leaves a copy in
+    transit. *)
+
+val preload : 'p t -> 'p list -> unit
+(** Set the in-transit content (truncated to capacity): the arbitrary
+    initial configuration of a transient-fault-prone link. *)
+
+val send : 'p t -> 'p -> unit
+(** Transmit: silently lost with probability [loss], or if the channel is
+    full (the bounded-capacity overflow rule). *)
+
+val deliver : 'p t -> 'p option
+(** Remove and return a uniformly chosen in-transit packet; [None] when
+    empty.  With probability [dup] the packet also stays in transit. *)
+
+val size : 'p t -> int
+
+val capacity : 'p t -> int
+
+val contents : 'p t -> 'p list

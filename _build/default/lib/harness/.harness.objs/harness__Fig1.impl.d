@@ -1,0 +1,1 @@
+lib/harness/fig1.ml: Array Registers Script Sim

@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Byzantine Oracles Printf Registers Sim

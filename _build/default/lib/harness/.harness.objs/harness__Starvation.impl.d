@@ -1,0 +1,1 @@
+lib/harness/starvation.ml: Byzantine Registers Script Sim

@@ -1,0 +1,1 @@
+lib/harness/swmr_inversion.ml: Array Registers Script Sim

@@ -1,0 +1,21 @@
+(** Deterministic construction of the paper's Figure 1 — the new/old
+    inversion a regular register admits and the practically atomic
+    register eliminates.
+
+    A write of 1 (after a completed write of 0) is kept pending across two
+    back-to-back reads by scripted link delays; the acknowledgment sets of
+    the two reads are steered so the first sees the new value's quorum and
+    the second the old value's.  Running the schedule against the Fig. 2
+    register reproduces the inversion; against the Fig. 3 register, the
+    [>_cd]-guarded bookkeeping suppresses it (line 13M3). *)
+
+type outcome = {
+  read1 : Registers.Value.t option;
+  read2 : Registers.Value.t option;
+  write1_pending_during_reads : bool;
+      (** sanity: the schedule really kept write(1) concurrent with both
+          reads *)
+  inversion : bool;  (** read1 = 1 and read2 = 0 *)
+}
+
+val run : [ `Regular | `Atomic ] -> outcome

@@ -1,0 +1,45 @@
+let default_out = Format.std_formatter
+
+let widths header rows =
+  let cols = List.length header in
+  let w = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < cols then w.(i) <- max w.(i) (String.length cell))
+        row)
+    (header :: rows);
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let print_row out w row =
+  let cells = List.mapi (fun i cell -> pad w.(i) cell) row in
+  Format.fprintf out "  %s@." (String.concat "  " cells)
+
+let table ?(out = default_out) ~title ~header rows =
+  Format.fprintf out "@.%s@." title;
+  let w = widths header rows in
+  print_row out w header;
+  print_row out w
+    (List.mapi (fun i _ -> String.make w.(i) '-') header);
+  List.iter (print_row out w) rows
+
+let kv ?(out = default_out) pairs =
+  let klen =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+  in
+  List.iter
+    (fun (k, v) -> Format.fprintf out "  %s: %s@." (pad klen k) v)
+    pairs
+
+let section ?(out = default_out) title =
+  Format.fprintf out "@.=== %s ===@." title
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let pct num denom =
+  if denom = 0 then Printf.sprintf "%d/%d" num denom
+  else
+    Printf.sprintf "%d/%d (%.0f%%)" num denom
+      (100.0 *. float_of_int num /. float_of_int denom)

@@ -1,0 +1,18 @@
+(** Plain-text table rendering for the experiment binaries. *)
+
+val table :
+  ?out:Format.formatter -> title:string -> header:string list ->
+  string list list -> unit
+(** Print an aligned table with a title line and a header row. *)
+
+val kv : ?out:Format.formatter -> (string * string) list -> unit
+(** Print aligned "key: value" lines. *)
+
+val section : ?out:Format.formatter -> string -> unit
+(** Print a section banner. *)
+
+val f1 : float -> string
+(** One-decimal float. *)
+
+val pct : int -> int -> string
+(** [pct num denom] as "x/y (z%)". *)

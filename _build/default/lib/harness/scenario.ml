@@ -1,0 +1,124 @@
+type t = {
+  seed : int;
+  engine : Sim.Engine.t;
+  net : Registers.Net.t;
+  fault : Sim.Fault.t;
+  adversary : Byzantine.Adversary.t;
+  history : Oracles.History.t;
+}
+
+let create ?(seed = 1) ?(record_events = false) ?delay ?medium ~params () =
+  let rng = Sim.Rng.create seed in
+  let trace = Sim.Trace.create ~record_events () in
+  let engine = Sim.Engine.create ~trace ~rng:(Sim.Rng.split rng) () in
+  let lo, hi =
+    match delay with
+    | Some (lo, hi) -> (lo, hi)
+    | None -> (
+      match (params : Registers.Params.t).mode with
+      | Registers.Params.Async -> (1, 10)
+      | Registers.Params.Sync { max_delay; _ } -> (1, max_delay))
+  in
+  (match (params : Registers.Params.t).mode with
+  | Registers.Params.Sync { max_delay; _ } when hi > max_delay ->
+    invalid_arg "Scenario.create: sync delays exceed the model's max_delay"
+  | Registers.Params.Sync _ | Registers.Params.Async -> ());
+  let net =
+    Registers.Net.create ~engine ~params ?medium
+      ~link_delay:(fun rng -> Sim.Link.uniform rng ~lo ~hi)
+      ()
+  in
+  let adversary = Byzantine.Adversary.deploy ~net ~rng:(Sim.Rng.split rng) in
+  let fault = Sim.Fault.create () in
+  Array.iter
+    (fun srv ->
+      Sim.Fault.register fault
+        ~name:(Printf.sprintf "server.%d" (Registers.Server.id srv))
+        (fun rng -> Registers.Server.corrupt srv rng))
+    (Byzantine.Adversary.servers adversary);
+  { seed; engine; net; fault; adversary; history = Oracles.History.create () }
+
+let run ?until t = Sim.Engine.run ?until t.engine
+
+let now t = Sim.Engine.now t.engine
+
+let rng t = Sim.Engine.rng t.engine
+
+let split_rng t = Sim.Rng.split (rng t)
+
+let sleep t span =
+  Sim.Fiber.suspend (fun resume ->
+      Sim.Engine.schedule t.engine ~delay:span resume)
+
+let register_port t (port : Registers.Net.client_port) =
+  let id = port.Registers.Net.client_id in
+  Sim.Fault.register t.fault
+    ~name:(Printf.sprintf "client.%d.round" id)
+    (fun rng -> port.Registers.Net.round <- Sim.Rng.int rng 1024);
+  Sim.Fault.register t.fault
+    ~name:(Printf.sprintf "link.c%d" id)
+    (fun rng ->
+      (* Garble what is in transit towards the servers.  Deliveries and
+         their round tags survive — the self-stabilizing data link's
+         retransmission completes every in-flight handshake — but the
+         protocol contents are arbitrary. *)
+      Array.iter
+        (fun link ->
+          Sim.Link.corrupt_in_flight link
+            (fun (env : Registers.Messages.server_envelope) ->
+              let body =
+                match env.body with
+                | Registers.Messages.Write _ ->
+                  Registers.Messages.Write (Registers.Messages.arbitrary_cell rng)
+                | Registers.Messages.New_help _ ->
+                  Registers.Messages.New_help
+                    (Registers.Messages.arbitrary_cell rng)
+                | Registers.Messages.Read _ ->
+                  Registers.Messages.Read (Sim.Rng.bool rng)
+              in
+              Some { env with body }))
+        port.Registers.Net.to_servers;
+      (* Under the Stabilizing medium: scramble the transports' tag state
+         and packets instead. *)
+      Registers.Net.corrupt_transport port rng;
+      (* And plant spurious acknowledgments on the return links: the
+         arbitrary initial link state of the model. *)
+      Array.iteri
+        (fun server link ->
+          if Sim.Rng.bool rng then
+            Sim.Link.inject link
+              {
+                Registers.Messages.round = Sim.Rng.int rng 1024;
+                server;
+                body =
+                  Registers.Messages.Ack_read
+                    ( Registers.Messages.arbitrary_cell rng,
+                      Some (Registers.Messages.arbitrary_cell rng) );
+              })
+        port.Registers.Net.from_servers)
+
+let register_atomic_writer t ~name w =
+  Sim.Fault.register t.fault
+    ~name:(Printf.sprintf "client.%s.wsn" name)
+    (fun rng -> Registers.Swsr_atomic.corrupt_writer w rng)
+
+let register_atomic_reader t ~name r =
+  Sim.Fault.register t.fault
+    ~name:(Printf.sprintf "client.%s.p" name)
+    (fun rng -> Registers.Swsr_atomic.corrupt_reader r rng)
+
+let record t ~proc ~kind ?ts f =
+  let inv = now t in
+  let result = f () in
+  let resp = now t in
+  (match result with
+  | Some v -> Oracles.History.record t.history ~proc ~kind ~inv ~resp ?ts v
+  | None ->
+    Oracles.History.record t.history ~proc ~kind ~inv ~resp ?ts ~ok:false
+      Registers.Value.bot);
+  result
+
+let messages_sent t = Sim.Trace.counter (Sim.Engine.trace t.engine) "net.msgs"
+
+let broadcasts t =
+  Sim.Trace.counter (Sim.Engine.trace t.engine) "ss.broadcasts"

@@ -1,0 +1,71 @@
+(** Experiment wiring: engine + network + adversary + fault plan + history.
+
+    A scenario owns one simulated deployment of the paper's system model:
+    [n] server slots behind an adversary controller, FIFO links with
+    sampled delays, a transient-fault injector with every piece of
+    corruptible state registered, and an operation history fed by the
+    workload jobs. *)
+
+type t = {
+  seed : int;
+  engine : Sim.Engine.t;
+  net : Registers.Net.t;
+  fault : Sim.Fault.t;
+  adversary : Byzantine.Adversary.t;
+  history : Oracles.History.t;
+}
+
+val create :
+  ?seed:int ->
+  ?record_events:bool ->
+  ?delay:int * int ->
+  ?medium:Registers.Net.medium ->
+  params:Registers.Params.t ->
+  unit ->
+  t
+(** Build a deployment.  [delay] is the uniform per-link delay range
+    (default [(1, 10)] in async mode; in sync mode the default upper bound
+    is the mode's [max_delay], and a custom [delay] must respect it).
+    Server state is registered with the fault injector under
+    ["server.<i>"]; client-side state is registered by the [register_*]
+    helpers below. *)
+
+val run : ?until:Sim.Vtime.t -> t -> unit
+(** Drive the engine until quiescence (or [until]). *)
+
+val now : t -> Sim.Vtime.t
+
+val rng : t -> Sim.Rng.t
+
+val split_rng : t -> Sim.Rng.t
+
+val sleep : t -> Sim.Vtime.span -> unit
+(** Suspend the calling fiber for a duration. *)
+
+val register_port : t -> Registers.Net.client_port -> unit
+(** Expose a client port's data-link round tag (and in-flight link
+    contents) to the fault injector, under ["client.<id>.round"] and
+    ["link.c<id>"]. *)
+
+val register_atomic_writer : t -> name:string -> Registers.Swsr_atomic.writer -> unit
+(** Register the writer's persistent [wsn] under ["client.<name>.wsn"]. *)
+
+val register_atomic_reader : t -> name:string -> Registers.Swsr_atomic.reader -> unit
+(** Register the reader's persistent [(pwsn, pv)] under
+    ["client.<name>.p"]. *)
+
+val record :
+  t ->
+  proc:string ->
+  kind:Oracles.History.kind ->
+  ?ts:Registers.Epoch.t * int * int ->
+  (unit -> Registers.Value.t option) ->
+  Registers.Value.t option
+(** Time an operation (must run inside a fiber) and append it to the
+    history; a [None] result is recorded as a failed ([ok = false]) read of
+    [Bot].  Returns the operation's result. *)
+
+val messages_sent : t -> int
+(** Engine-wide delivered-message count (trace counter ["net.msgs"]). *)
+
+val broadcasts : t -> int

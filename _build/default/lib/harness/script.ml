@@ -1,0 +1,10 @@
+let scripted script default =
+  let remaining = ref script in
+  fun () ->
+    match !remaining with
+    | d :: rest ->
+      remaining := rest;
+      d
+    | [] -> default
+
+let far = 100_000

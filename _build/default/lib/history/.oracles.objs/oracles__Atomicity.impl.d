@@ -1,0 +1,1 @@
+lib/history/atomicity.ml: Format Hashtbl History Int List Printf Registers Regularity Sim

@@ -1,0 +1,1 @@
+lib/history/atomicity.mli: Format History Regularity Sim

@@ -1,0 +1,1 @@
+lib/history/history.ml: Format List Registers Sim

@@ -1,0 +1,1 @@
+lib/history/regularity.ml: Format History List Registers Sim String

@@ -1,0 +1,20 @@
+(** Brute-force linearizability for small register histories.
+
+    Searches for a total order of the operations that (a) respects real
+    time (an operation that responded before another was invoked comes
+    first) and (b) makes every read return the value of the latest
+    preceding write (or [initial] if none precedes it).
+
+    Exponential in the worst case — intended for cross-validating the
+    polynomial oracles ({!Atomicity.Sw}, {!Atomicity.Mw}) on histories of
+    up to a few dozen operations, not for production checking.  The DFS
+    extends the order only with currently-minimal operations (no pending
+    op that real-time-precedes them), which prunes aggressively on the
+    mostly-sequential histories the simulator produces. *)
+
+val check :
+  ?initial:Registers.Value.t -> ?max_steps:int -> History.t -> bool option
+(** [check h] is [Some true] if a linearization exists, [Some false] if
+    provably none does, or [None] if the search exceeded [max_steps]
+    (default 2_000_000) DFS steps. [initial] (default [Bot]) is the value
+    reads may return before any write is linearized. *)

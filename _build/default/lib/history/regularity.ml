@@ -1,0 +1,73 @@
+type violation = { read : History.op; expected : Registers.Value.t list }
+
+type report = {
+  reads_checked : int;
+  reads_skipped : int;
+  liveness_failures : int;
+  violations : violation list;
+}
+
+(* Admissible values for a read: value of the last write completed before
+   the read's invocation, plus values of all writes concurrent with it. *)
+let admissible writes (read : History.op) =
+  let completed_before =
+    List.filter (fun (w : History.op) -> Sim.Vtime.( <= ) w.resp read.inv) writes
+  in
+  let last_completed =
+    List.fold_left
+      (fun acc (w : History.op) ->
+        match acc with
+        | Some (best : History.op) when Sim.Vtime.( <= ) w.resp best.resp ->
+          acc
+        | Some _ | None -> Some w)
+      None completed_before
+  in
+  let concurrent = List.filter (fun w -> History.overlap w read) writes in
+  let vs =
+    (match last_completed with Some w -> [ w.value ] | None -> [])
+    @ List.map (fun (w : History.op) -> w.value) concurrent
+  in
+  vs
+
+let check ?cutoff ?(initial_ok = false) h =
+  let writes = History.writes h in
+  let reads = History.reads h in
+  let after_cutoff (o : History.op) =
+    match cutoff with None -> true | Some c -> Sim.Vtime.( <= ) c o.inv
+  in
+  let checked, skipped = List.partition after_cutoff reads in
+  let liveness = List.filter (fun (r : History.op) -> not r.ok) checked in
+  let violations =
+    List.filter_map
+      (fun (r : History.op) ->
+        if not r.ok then None
+        else
+          let expected = admissible writes r in
+          if expected = [] && initial_ok then None
+          else if
+            List.exists (fun v -> Registers.Value.equal v r.value) expected
+          then None
+          else Some { read = r; expected })
+      checked
+  in
+  {
+    reads_checked = List.length checked;
+    reads_skipped = List.length skipped;
+    liveness_failures = List.length liveness;
+    violations;
+  }
+
+let is_clean r = r.violations = [] && r.liveness_failures = 0
+
+let pp ppf r =
+  Format.fprintf ppf
+    "regularity: %d checked, %d skipped, %d liveness failures, %d violations"
+    r.reads_checked r.reads_skipped r.liveness_failures
+    (List.length r.violations);
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "@.  VIOLATION %a returned %a, admissible: %s"
+        History.pp_op v.read Registers.Value.pp v.read.History.value
+        (String.concat ", "
+           (List.map Registers.Value.to_string v.expected)))
+    r.violations

@@ -1,0 +1,54 @@
+type config = {
+  keys : string list;
+  clients : int;
+  base_inst : int;
+  seq_bound : int;
+}
+
+let config ~keys ~clients =
+  if keys = [] then invalid_arg "Kv.config: empty schema";
+  if List.sort_uniq String.compare keys <> List.sort String.compare keys then
+    invalid_arg "Kv.config: duplicate keys";
+  if clients <= 0 then invalid_arg "Kv.config: need at least one client";
+  { keys; clients; base_inst = 0; seq_bound = 1 lsl 61 }
+
+type t = { cfg : config; registers : (string * Registers.Mwmr.process) list }
+
+let client ~net ~cfg ~id ~client_id =
+  (* Each key's MWMR register occupies a disjoint instance range of size
+     m*m, derived from its schema position. *)
+  let m = cfg.clients in
+  let registers =
+    List.mapi
+      (fun idx key ->
+        let mwmr_cfg =
+          {
+            (Registers.Mwmr.default_config ~m) with
+            Registers.Mwmr.base_inst = cfg.base_inst + (idx * m * m);
+            seq_bound = cfg.seq_bound;
+          }
+        in
+        (key, Registers.Mwmr.process ~net ~cfg:mwmr_cfg ~id ~client_id))
+      cfg.keys
+  in
+  { cfg; registers }
+
+let register t key =
+  match List.assoc_opt key t.registers with
+  | Some r -> r
+  | None -> raise Not_found
+
+let set t ~key v = Registers.Mwmr.write (register t key) v
+
+let get t ~key = Registers.Mwmr.read (register t key)
+
+let keys t = t.cfg.keys
+
+let snapshot t =
+  List.map
+    (fun key ->
+      ( key,
+        match get t ~key with
+        | Some v -> v
+        | None -> Registers.Value.bot ))
+    t.cfg.keys

@@ -1,0 +1,46 @@
+(** A replicated, self-stabilizing, Byzantine-tolerant key/value store —
+    the downstream-facing layer over the paper's MWMR registers.
+
+    Each key of a {e fixed schema} is backed by one MWMR atomic register
+    (so each key costs [m * m] register instances at the servers, where
+    [m] is the number of store clients).  All clients may read and write
+    every key; per-key operations are atomic, tolerate up to [t] Byzantine
+    servers, and self-stabilize after transient faults once the key is
+    written again.
+
+    The schema (the ordered key list) is configuration, agreed out of
+    band, exactly like the register-instance numbering itself: two clients
+    with different schemas would talk past each other, which is a
+    deployment error, not a fault the paper's model covers. *)
+
+type config = {
+  keys : string list;  (** the fixed schema, in canonical order *)
+  clients : int;  (** number of store clients ([m] writers/readers) *)
+  base_inst : int;  (** first register instance to use (default 0) *)
+  seq_bound : int;  (** MWMR timestamp bound (default 2^61) *)
+}
+
+val config : keys:string list -> clients:int -> config
+(** Standard configuration; raises [Invalid_argument] on an empty or
+    duplicated key list. *)
+
+type t
+(** One client's handle onto the store. *)
+
+val client : net:Registers.Net.t -> cfg:config -> id:int -> client_id:int -> t
+(** The handle for store client [id] (0-based, [< cfg.clients]),
+    communicating as network client [client_id]. *)
+
+val set : t -> key:string -> Registers.Value.t -> unit
+(** Atomically write one key.  Must run inside a fiber.
+    Raises [Not_found] if [key] is not in the schema. *)
+
+val get : t -> key:string -> Registers.Value.t option
+(** Atomically read one key ([Some Bot] if never written).  Must run
+    inside a fiber.  Raises [Not_found] if [key] is not in the schema. *)
+
+val keys : t -> string list
+
+val snapshot : t -> (string * Registers.Value.t) list
+(** Read every key in schema order (not an atomic multi-key snapshot:
+    each key is read atomically, one after the other). *)

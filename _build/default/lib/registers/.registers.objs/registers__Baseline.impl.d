@@ -1,0 +1,1 @@
+lib/registers/baseline.ml: Array Collect List Messages Net Params Quorum Seqnum Server Sim

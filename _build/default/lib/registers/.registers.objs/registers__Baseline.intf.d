@@ -1,0 +1,1 @@
+lib/registers/baseline.mli: Net Server Sim Value

@@ -1,0 +1,1 @@
+lib/registers/collect.ml: Array List Messages Net Params Sim

@@ -1,0 +1,1 @@
+lib/registers/collect.mli: Messages Net

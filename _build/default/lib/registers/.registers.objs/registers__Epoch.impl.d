@@ -1,0 +1,1 @@
+lib/registers/epoch.ml: Format Int List Sim String

@@ -1,0 +1,1 @@
+lib/registers/epoch.mli: Format Sim

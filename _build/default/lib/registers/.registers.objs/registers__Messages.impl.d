@@ -1,0 +1,1 @@
+lib/registers/messages.ml: Format Seqnum Sim Value

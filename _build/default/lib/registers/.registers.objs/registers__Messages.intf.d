@@ -1,0 +1,1 @@
+lib/registers/messages.mli: Format Seqnum Sim Value

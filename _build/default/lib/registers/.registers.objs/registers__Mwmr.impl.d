@@ -1,0 +1,1 @@
+lib/registers/mwmr.ml: Array Epoch List Seqnum Swmr Value

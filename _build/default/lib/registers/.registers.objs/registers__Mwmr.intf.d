@@ -1,0 +1,1 @@
+lib/registers/mwmr.mli: Epoch Net Value

@@ -1,0 +1,1 @@
+lib/registers/net.ml: Array Format Int List Messages Params Printf Server Sim Ss_transport

@@ -1,0 +1,1 @@
+lib/registers/net.mli: Messages Params Server Sim

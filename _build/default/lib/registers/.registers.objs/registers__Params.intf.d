@@ -1,0 +1,1 @@
+lib/registers/params.mli: Format Sim

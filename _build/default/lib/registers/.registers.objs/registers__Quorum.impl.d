@@ -1,0 +1,1 @@
+lib/registers/quorum.ml: List Messages

@@ -1,0 +1,1 @@
+lib/registers/server.ml: Hashtbl Int List Messages Sim

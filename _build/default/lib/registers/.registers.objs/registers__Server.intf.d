@@ -1,0 +1,1 @@
+lib/registers/server.mli: Messages Sim

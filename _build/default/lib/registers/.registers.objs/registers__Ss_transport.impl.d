@@ -1,0 +1,1 @@
+lib/registers/ss_transport.ml: Lazy Queue Sim

@@ -1,0 +1,1 @@
+lib/registers/swmr.ml: Array Seqnum Swsr_atomic

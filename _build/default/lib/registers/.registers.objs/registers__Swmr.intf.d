@@ -1,0 +1,1 @@
+lib/registers/swmr.mli: Net Swsr_atomic Value

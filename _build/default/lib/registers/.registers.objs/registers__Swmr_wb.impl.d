@@ -1,0 +1,1 @@
+lib/registers/swmr_wb.ml: Array Epoch List Seqnum Swsr_atomic Value

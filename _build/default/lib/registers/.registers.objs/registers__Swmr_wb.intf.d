@@ -1,0 +1,1 @@
+lib/registers/swmr_wb.mli: Net Value

@@ -1,0 +1,1 @@
+lib/registers/swsr_atomic.ml: Collect List Messages Net Params Quorum Seqnum Sim Value

@@ -1,0 +1,1 @@
+lib/registers/swsr_atomic.mli: Net Seqnum Sim Value

@@ -1,0 +1,1 @@
+lib/registers/swsr_regular.ml: Collect List Messages Net Params Quorum Seqnum Sim

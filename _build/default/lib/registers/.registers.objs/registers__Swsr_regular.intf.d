@@ -1,0 +1,1 @@
+lib/registers/swsr_regular.mli: Net Value

@@ -1,0 +1,1 @@
+lib/registers/value.ml: Epoch Format Printf Sim Stdlib String

@@ -1,0 +1,1 @@
+lib/registers/value.mli: Epoch Format Sim

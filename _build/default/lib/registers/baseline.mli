@@ -1,0 +1,63 @@
+(** Comparison registers for the experiments (E7).
+
+    {!Nonstab} is a classical Byzantine-quorum SWSR register in the style
+    of Malkhi–Reiter/ABD: unbounded integer timestamps, highest-timestamp
+    read, {e no} self-stabilization machinery.  A transient fault that
+    plants a huge timestamp at [t+1] servers (or rolls the writer's counter
+    back) wedges it permanently — the behaviour the paper's bounded
+    [>_cd] order and helping mechanism eliminate.
+
+    {!Quiescent} models the register of Bonomi–Potop-Butucaru–Tixeuil
+    (reference [3]): a stabilizing {e regular} register whose reads succeed
+    only by finding a plain quorum of identical [last_val]s — no helping
+    path.  It needs the paper-[3] "write quiescence" assumption: under a
+    continuously active writer a read may never converge, which is the gap
+    the Fig. 2 helping mechanism closes. *)
+
+module Nonstab : sig
+  type writer
+
+  type reader
+
+  val install_servers : net:Net.t -> Server.t array -> unit
+  (** Classical timestamped storage servers: a WRITE is applied only if its
+      timestamp exceeds the stored one (the monotonicity that makes the
+      classical register safe — and, after a transient fault plants a huge
+      timestamp, unrecoverable). Replaces the slots' current handlers. *)
+
+  val writer : net:Net.t -> client_id:int -> inst:int -> writer
+
+  val reader : net:Net.t -> client_id:int -> inst:int -> reader
+
+  val write : writer -> Value.t -> unit
+
+  val read : ?max_iterations:int -> reader -> Value.t option
+  (** Highest-timestamp value appearing at least [t+1] times among [n-t]
+      acknowledgments; retries (up to [max_iterations], default 64) until
+      such a value exists. *)
+
+  val timestamp : writer -> int
+
+  val corrupt_writer : writer -> Sim.Rng.t -> unit
+  (** Transient fault: rolls the volatile timestamp to a random small
+      value.  (Planting poisoned cells at servers is done directly on
+      {!Server.instance} state by the experiment code.) *)
+end
+
+module Quiescent : sig
+  type writer
+
+  type reader
+
+  val writer : net:Net.t -> client_id:int -> inst:int -> writer
+
+  val reader : net:Net.t -> client_id:int -> inst:int -> reader
+
+  val write : writer -> Value.t -> unit
+
+  val read : ?max_iterations:int -> reader -> Value.t option
+  (** Retries until a {!Params.read_quorum} of identical [last_val]s shows
+      up; gives up after [max_iterations] (default 64) rounds. *)
+
+  val reader_iterations : reader -> int
+end

@@ -1,0 +1,49 @@
+let acks ~net ~port ~round ~filter =
+  let params = Net.params net in
+  let n = (params : Params.t).n in
+  let slots : 'a option array = Array.make n None in
+  let filled = ref 0 in
+  (* The round tag was captured at broadcast time: the wait matches the
+     broadcast that was just issued even if a transient fault corrupts the
+     port's tag while the round trip is in flight. *)
+  let expected_round = round in
+  let consider (env : Messages.client_envelope) =
+    let slot_free =
+      env.server >= 0 && env.server < n
+      && match slots.(env.server) with None -> true | Some _ -> false
+    in
+    if env.round = expected_round && slot_free then
+      match filter env.body with
+      | None -> ()
+      | Some payload ->
+        slots.(env.server) <- Some payload;
+        incr filled
+  in
+  (match Params.sync_timeout params with
+  | None ->
+    (* Asynchronous model: block until (n - t) distinct servers answered. *)
+    let target = Params.ack_wait params in
+    while !filled < target do
+      consider (Sim.Mailbox.recv port.Net.mailbox)
+    done
+  | Some timeout ->
+    (* Synchronous model: wait for all n servers or the round-trip bound. *)
+    let engine = Net.engine net in
+    let deadline = Sim.Vtime.add (Sim.Engine.now engine) timeout in
+    let continue = ref true in
+    while !continue && !filled < n do
+      match Sim.Mailbox.recv_until ~engine ~deadline port.Net.mailbox with
+      | None -> continue := false
+      | Some env -> consider env
+    done);
+  Array.to_list slots |> List.filter_map (fun s -> s)
+
+let ack_writes ~net ~port ~round =
+  acks ~net ~port ~round ~filter:(function
+    | Messages.Ack_write h -> Some h
+    | Messages.Ack_read _ -> None)
+
+let ack_reads ~net ~port ~round =
+  acks ~net ~port ~round ~filter:(function
+    | Messages.Ack_read (c, h) -> Some (c, h)
+    | Messages.Ack_write _ -> None)

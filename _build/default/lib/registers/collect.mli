@@ -1,0 +1,32 @@
+(** Waiting for acknowledgments from distinct servers (the [wait]
+    statements of lines 02 and 11).
+
+    Only acknowledgments tagged with the port's current round are
+    considered (see {!Net} on the round tag); at most one acknowledgment
+    per server counts, per the paper's "from (n-t) {e different} servers".
+    In async mode the wait blocks until [Params.ack_wait] distinct servers
+    answered; in sync mode it collects until all [n] answered or the
+    round-trip timeout elapses (lines 02.M / 11.M of Fig. 5). *)
+
+val acks :
+  net:Net.t ->
+  port:Net.client_port ->
+  round:int ->
+  filter:(Messages.to_client -> 'a option) ->
+  'a list
+(** [acks ~net ~port ~round ~filter] returns the filtered payloads
+    collected, in server-id order.  [round] is the tag returned by the
+    {!Net.ss_broadcast} this wait answers.  [filter] selects/decodes the
+    expected acknowledgment kind; non-matching bodies from a server are
+    ignored (a Byzantine server may send anything). *)
+
+val ack_writes :
+  net:Net.t -> port:Net.client_port -> round:int -> Messages.help list
+(** Collect ACK_WRITE payloads (helping values). *)
+
+val ack_reads :
+  net:Net.t ->
+  port:Net.client_port ->
+  round:int ->
+  (Messages.cell * Messages.help) list
+(** Collect ACK_READ payloads ((last_val, helping_val) pairs). *)

@@ -1,0 +1,40 @@
+type cell = { sn : Seqnum.t; v : Value.t }
+
+let cell_equal c1 c2 = c1.sn = c2.sn && Value.equal c1.v c2.v
+
+let bot_cell = { sn = Seqnum.zero; v = Value.bot }
+
+type help = cell option
+
+let help_equal h1 h2 =
+  match (h1, h2) with
+  | None, None -> true
+  | Some c1, Some c2 -> cell_equal c1 c2
+  | (None | Some _), _ -> false
+
+type to_server = Write of cell | New_help of cell | Read of bool
+
+type to_client = Ack_write of help | Ack_read of cell * help
+
+type server_envelope = { round : int; client : int; inst : int; body : to_server }
+
+type client_envelope = { round : int; server : int; body : to_client }
+
+let pp_cell ppf c = Format.fprintf ppf "(%a,%a)" Seqnum.pp c.sn Value.pp c.v
+
+let pp_help ppf = function
+  | None -> Format.pp_print_string ppf "⊥"
+  | Some c -> pp_cell ppf c
+
+let pp_to_server ppf = function
+  | Write c -> Format.fprintf ppf "WRITE%a" pp_cell c
+  | New_help c -> Format.fprintf ppf "NEW_HELP_VAL%a" pp_cell c
+  | Read b -> Format.fprintf ppf "READ(%b)" b
+
+let pp_to_client ppf = function
+  | Ack_write h -> Format.fprintf ppf "ACK_WRITE(%a)" pp_help h
+  | Ack_read (c, h) ->
+    Format.fprintf ppf "ACK_READ(%a,%a)" pp_cell c pp_help h
+
+let arbitrary_cell rng =
+  { sn = Sim.Rng.int rng 1024; v = Value.arbitrary rng }

@@ -1,0 +1,156 @@
+type config = {
+  m : int;
+  base_inst : int;
+  modulus : int;
+  seq_bound : int;
+  tie : [ `Min_index | `Max_index ];
+  view_budget : int;
+}
+
+let default_config ~m =
+  {
+    m;
+    base_inst = 0;
+    modulus = Seqnum.default_modulus;
+    seq_bound = 1 lsl 61;
+    tie = `Min_index;
+    view_budget = 64;
+  }
+
+let epoch_k cfg = max cfg.m 2
+
+type process = {
+  id : int;
+  cfg : config;
+  own : Swmr.writer;
+  views : Swmr.reader array;
+  mutable last_ts : (Epoch.t * int) option;
+  mutable epochs_opened : int;
+  mutable restamps_rev : (Value.t * Epoch.t * int) list;
+}
+
+let process ~net ~cfg ~id ~client_id =
+  if id < 0 || id >= cfg.m then invalid_arg "Mwmr.process: id out of range";
+  let own =
+    Swmr.writer ~net ~client_id
+      ~base_inst:(cfg.base_inst + (id * cfg.m))
+      ~readers:cfg.m ~modulus:cfg.modulus ()
+  in
+  let views =
+    Array.init cfg.m (fun j ->
+        Swmr.reader ~net ~client_id
+          ~base_inst:(cfg.base_inst + (j * cfg.m))
+          ~reader_index:id ~modulus:cfg.modulus ())
+  in
+  { id; cfg; own; views; last_ts = None; epochs_opened = 0; restamps_rev = [] }
+
+(* A value read back from an underlying SWMR register is expected to be a
+   (data, epoch, seq) triple; anything else is debris from corruption or an
+   unwritten register and is absorbed as a genesis-stamped triple. *)
+let decode ~k v =
+  match v with
+  | Value.Stamped { data; epoch; seq } -> (data, epoch, seq)
+  | Value.Bot | Value.Int _ | Value.Str _ -> (v, Epoch.genesis ~k, 0)
+
+(* Lines 01 and 09: collect this process's view of REG[1..m].  A sub-read
+   that exhausts the inquiry budget (possible only before the registers'
+   writers have written post-fault) is absorbed as a genesis-stamped Bot
+   triple; see the [view_budget] documentation. *)
+let read_views ?max_iterations p =
+  let k = epoch_k p.cfg in
+  let budget =
+    match max_iterations with Some b -> b | None -> p.cfg.view_budget
+  in
+  Array.map
+    (fun r ->
+      match Swmr.read ~max_iterations:budget r with
+      | Some v -> decode ~k v
+      | None -> (Value.bot, Epoch.genesis ~k, 0))
+    p.views
+
+let view_epochs views =
+  Array.to_list views |> List.map (fun (_, e, _) -> e)
+
+(* Lines 02 / 10: no greatest epoch, or its sequence space is exhausted. *)
+let must_open_epoch p views =
+  match Epoch.max_epoch (view_epochs views) with
+  | None -> true
+  | Some me ->
+    Array.exists
+      (fun (_, e, s) -> Epoch.equal e me && s >= p.cfg.seq_bound)
+      views
+
+(* Lines 05-06 / 13-14: the indices holding the greatest epoch and the
+   maximal sequence number among them. *)
+let frontier views =
+  match Epoch.max_epoch (view_epochs views) with
+  | None -> None
+  | Some me ->
+    let holders =
+      Array.to_list views
+      |> List.mapi (fun j (v, e, s) -> (j, v, e, s))
+      |> List.filter (fun (_, _, e, _) -> Epoch.equal e me)
+    in
+    let seq_max =
+      List.fold_left (fun acc (_, _, _, s) -> max acc s) min_int holders
+    in
+    Some (me, seq_max, holders)
+
+let write p v =
+  let views = read_views p in
+  if must_open_epoch p views then begin
+    let ne = Epoch.next_epoch ~k:(epoch_k p.cfg) (view_epochs views) in
+    p.epochs_opened <- p.epochs_opened + 1;
+    views.(p.id) <- (v, ne, 0) (* line 03 *)
+  end;
+  match frontier views with
+  | None -> assert false (* next_epoch dominates every view epoch *)
+  | Some (me, seq_max, _) ->
+    let ts_seq = seq_max + 1 in
+    p.last_ts <- Some (me, ts_seq);
+    (* line 07 *)
+    Swmr.write p.own (Value.stamped ~data:v ~epoch:me ~seq:ts_seq)
+
+let pick_return p (_me, seq_max, holders) =
+  let candidates = List.filter (fun (_, _, _, s) -> s = seq_max) holders in
+  let chosen =
+    match p.cfg.tie with
+    | `Min_index -> List.nth_opt candidates 0 (* line 15: minimal index *)
+    | `Max_index -> List.nth_opt (List.rev candidates) 0
+  in
+  match chosen with
+  | Some (j, v, _, _) -> (j, v)
+  | None -> (0, Value.bot) (* unreachable: holders is non-empty *)
+
+let read_timestamped ?max_iterations p =
+  let views = read_views ?max_iterations p in
+  if must_open_epoch p views then begin
+    (* Line 11: restamp our own current value into a fresh epoch. *)
+    let ne = Epoch.next_epoch ~k:(epoch_k p.cfg) (view_epochs views) in
+    p.epochs_opened <- p.epochs_opened + 1;
+    let own_v, _, _ = views.(p.id) in
+    views.(p.id) <- (own_v, ne, 0);
+    p.restamps_rev <- (own_v, ne, 0) :: p.restamps_rev;
+    Swmr.write p.own (Value.stamped ~data:own_v ~epoch:ne ~seq:0)
+  end;
+  match frontier views with
+  | None -> None
+  | Some ((me, seq_max, _) as fr) ->
+    let j, v = pick_return p fr in
+    Some (v, me, seq_max, j)
+
+let read ?max_iterations p =
+  match read_timestamped ?max_iterations p with
+  | Some (v, _, _, _) -> Some v
+  | None -> None
+
+let id p = p.id
+
+let last_write_timestamp p = p.last_ts
+
+let epochs_opened p = p.epochs_opened
+
+let take_restamps p =
+  let log = List.rev p.restamps_rev in
+  p.restamps_rev <- [];
+  log

@@ -1,0 +1,233 @@
+type endpoint = { mutable on_deliver : Messages.server_envelope -> unit }
+
+type medium =
+  | Reliable_fifo
+  | Stabilizing of { loss : float; dup : float; retrans : int }
+
+type port_transport =
+  | Direct
+  | Lossy of {
+      to_servers : Messages.server_envelope Ss_transport.t array;
+      reply_senders : Messages.client_envelope Ss_transport.t array;
+    }
+
+type client_port = {
+  client_id : int;
+  mailbox : Messages.client_envelope Sim.Mailbox.t;
+  to_servers : Messages.server_envelope Sim.Link.t array;
+  from_servers : Messages.client_envelope Sim.Link.t array;
+  mutable round : int;
+  transport : port_transport;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  medium : medium;
+  endpoints : endpoint array;
+  mutable correct : int -> bool;
+  mutable ports : (int * client_port) list;
+  link_delay : Sim.Rng.t -> Sim.Link.sampler;
+}
+
+let create ~engine ~params ?(medium = Reliable_fifo) ~link_delay () =
+  let n = (params : Params.t).n in
+  {
+    engine;
+    params;
+    medium;
+    endpoints = Array.init n (fun _ -> { on_deliver = (fun _ -> ()) });
+    correct = (fun _ -> true);
+    ports = [];
+    link_delay;
+  }
+
+let engine t = t.engine
+
+let params t = t.params
+
+let endpoints t = t.endpoints
+
+let set_correct t f = t.correct <- f
+
+let is_correct t i = t.correct i
+
+let round_modulus = 1 lsl 30
+
+let add_client t ~id =
+  match List.assoc_opt id t.ports with
+  | Some port -> port
+  | None ->
+    let n = t.params.Params.n in
+    let mailbox = Sim.Mailbox.create () in
+    let mk_sampler () = t.link_delay (Sim.Rng.split (Sim.Engine.rng t.engine)) in
+    let port =
+      match t.medium with
+      | Reliable_fifo ->
+        let to_servers =
+          Array.init n (fun s ->
+              Sim.Link.create ~engine:t.engine ~delay:(mk_sampler ())
+                ~name:(Printf.sprintf "c%d->s%d" id s)
+                ~deliver:(fun env -> t.endpoints.(s).on_deliver env))
+        in
+        let from_servers =
+          Array.init n (fun s ->
+              Sim.Link.create ~engine:t.engine ~delay:(mk_sampler ())
+                ~name:(Printf.sprintf "s%d->c%d" s id)
+                ~deliver:(fun env -> Sim.Mailbox.push mailbox env))
+        in
+        {
+          client_id = id;
+          mailbox;
+          to_servers;
+          from_servers;
+          round = 0;
+          transport = Direct;
+        }
+      | Stabilizing { loss; dup; retrans } ->
+        let rng () = Sim.Rng.split (Sim.Engine.rng t.engine) in
+        let to_servers =
+          Array.init n (fun s ->
+              Ss_transport.create ~engine:t.engine ~rng:(rng ())
+                ~delay:(mk_sampler ()) ~loss ~dup ~retrans
+                ~name:(Printf.sprintf "c%d=>s%d" id s)
+                ~deliver:(fun env -> t.endpoints.(s).on_deliver env)
+                ())
+        in
+        let reply_senders =
+          Array.init n (fun s ->
+              Ss_transport.create ~engine:t.engine ~rng:(rng ())
+                ~delay:(mk_sampler ()) ~loss ~dup ~retrans
+                ~name:(Printf.sprintf "s%d=>c%d" s id)
+                ~deliver:(fun env -> Sim.Mailbox.push mailbox env)
+                ())
+        in
+        {
+          client_id = id;
+          mailbox;
+          to_servers = [||];
+          from_servers = [||];
+          round = 0;
+          transport = Lossy { to_servers; reply_senders };
+        }
+    in
+    t.ports <- (id, port) :: t.ports;
+    port
+
+let client_ports t =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) t.ports
+
+let reply t ~server ~client body ~round =
+  match List.assoc_opt client t.ports with
+  | None -> ()
+  | Some port -> (
+    let env = { Messages.round; server; body } in
+    match port.transport with
+    | Direct -> Sim.Link.send port.from_servers.(server) env
+    | Lossy { reply_senders; _ } ->
+      Ss_transport.send reply_senders.(server) env)
+
+let install_honest_server t srv =
+  let s = Server.id srv in
+  t.endpoints.(s).on_deliver <-
+    (fun env ->
+      Sim.Trace.emit_lazy
+        (Sim.Engine.trace t.engine)
+        ~time:(Sim.Engine.now t.engine) ~tag:"ss-deliver" (fun () ->
+          Format.asprintf "s%d <- c%d (round %d, inst %d): %a" s
+            env.Messages.client env.Messages.round env.Messages.inst
+            Messages.pp_to_server env.Messages.body);
+      match Server.handle srv env with
+      | None -> ()
+      | Some body ->
+        Sim.Trace.emit_lazy
+          (Sim.Engine.trace t.engine)
+          ~time:(Sim.Engine.now t.engine) ~tag:"ack" (fun () ->
+            Format.asprintf "s%d -> c%d: %a" s env.Messages.client
+              Messages.pp_to_client body);
+        reply t ~server:s ~client:env.Messages.client body ~round:env.Messages.round)
+
+let ss_broadcast t port ~inst body =
+  Sim.Trace.incr (Sim.Engine.trace t.engine) "ss.broadcasts";
+  port.round <- (port.round + 1) mod round_modulus;
+  Sim.Trace.emit_lazy
+    (Sim.Engine.trace t.engine)
+    ~time:(Sim.Engine.now t.engine) ~tag:"ss-broadcast" (fun () ->
+      Format.asprintf "c%d (round %d, inst %d): %a" port.client_id port.round
+        inst Messages.pp_to_server body);
+  let env =
+    { Messages.round = port.round; client = port.client_id; inst; body }
+  in
+  (* Synchronized delivery: the invocation spans the first (n - 2t) correct
+     deliveries.  If the adversary corrupts more than t servers (tightness
+     experiments), fall back to the last correct delivery so the broadcast
+     still terminates. *)
+  let quorum = t.params.Params.n - (2 * t.params.Params.f) in
+  (match port.transport with
+  | Direct ->
+    let arrivals =
+      Array.mapi
+        (fun s link -> (s, Sim.Link.send_timed link env))
+        port.to_servers
+    in
+    let correct_arrivals =
+      Array.to_list arrivals
+      |> List.filter_map (fun (s, at) ->
+             if t.correct s then Some at else None)
+      |> List.sort Sim.Vtime.compare
+    in
+    let resume_at =
+      match List.nth_opt correct_arrivals (quorum - 1) with
+      | Some at -> at
+      | None -> (
+        match List.rev correct_arrivals with
+        | last :: _ -> last
+        | [] -> Sim.Engine.now t.engine)
+    in
+    Sim.Fiber.suspend (fun resume ->
+        Sim.Engine.schedule_at t.engine resume_at resume)
+  | Lossy { to_servers; _ } ->
+    (* No ground truth here: the transports' own delivery acknowledgments
+       realize the synchronized-delivery property. *)
+    let correct_total =
+      let c = ref 0 in
+      for s = 0 to t.params.Params.n - 1 do
+        if t.correct s then incr c
+      done;
+      !c
+    in
+    let target = min quorum correct_total in
+    Sim.Fiber.suspend (fun resume ->
+        let confirmed = ref 0 in
+        let resumed = ref false in
+        let maybe_resume () =
+          if (not !resumed) && !confirmed >= target then begin
+            resumed := true;
+            resume ()
+          end
+        in
+        Array.iteri
+          (fun s sender ->
+            let was_correct = t.correct s in
+            Ss_transport.send sender
+              ~on_delivered:(fun () ->
+                if was_correct then begin
+                  incr confirmed;
+                  maybe_resume ()
+                end)
+              env)
+          to_servers;
+        if target = 0 then
+          Sim.Engine.schedule t.engine ~delay:0 (fun () ->
+              if not !resumed then begin
+                resumed := true;
+                resume ()
+              end)));
+  env.Messages.round
+
+let corrupt_transport port rng =
+  match port.transport with
+  | Direct -> ()
+  | Lossy { to_servers; reply_senders } ->
+    Array.iter (fun s -> Ss_transport.corrupt s rng) to_servers;
+    Array.iter (fun s -> Ss_transport.corrupt s rng) reply_senders

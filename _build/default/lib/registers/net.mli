@@ -1,0 +1,100 @@
+(** The client/server communication fabric: 4n directed FIFO links plus the
+    ss-broadcast abstraction of §2.1.
+
+    Each of the [n] server slots is an {!endpoint} whose handler the
+    deployment chooses (the honest automaton of {!Server}, or a Byzantine
+    strategy).  Each client owns a {!client_port}: an outgoing ss-delivery
+    link to every server, an incoming acknowledgment link from every
+    server, and a mailbox merging arrivals.
+
+    {2 ss-broadcast realization}
+
+    {!ss_broadcast} schedules an ss-delivery at every server (per-link
+    sampled delays, FIFO) and suspends the calling fiber until the
+    [(n-2t)]-th delivery at a {e correct} server — exactly the synchronized
+    delivery property.  The simulator's ground-truth knowledge of which
+    servers are currently Byzantine substitutes for the bounded-capacity
+    data-link construction of footnote 3, whose executable model lives in
+    [stabreg.datalink] (module [Alt_bit]) and is validated separately:
+    registers only rely on the six abstract properties, which this module
+    provides verbatim.
+
+    The per-port [round] tag matches acknowledgments to broadcasts (the
+    §3.1 remark: FIFO makes protocol-level sequence numbers unnecessary;
+    the tag is the data-link layer's generalized alternating bit).  It is
+    part of the corruptible link state. *)
+
+type endpoint = { mutable on_deliver : Messages.server_envelope -> unit }
+
+type medium =
+  | Reliable_fifo
+      (** the model of §2.1: FIFO reliable links; synchronized delivery
+          realized from the simulator's ground truth *)
+  | Stabilizing of { loss : float; dup : float; retrans : int }
+      (** every link is an {!Ss_transport} over a lossy, duplicating,
+          reordering medium; synchronized delivery realized from the
+          transport's own delivery acknowledgments — the registers then
+          run end-to-end over genuinely unreliable links *)
+
+type port_transport
+(** Internals of a port's [Stabilizing]-medium transports (opaque). *)
+
+type client_port = {
+  client_id : int;
+  mailbox : Messages.client_envelope Sim.Mailbox.t;
+  to_servers : Messages.server_envelope Sim.Link.t array;
+      (** [Reliable_fifo] links; empty under [Stabilizing] *)
+  from_servers : Messages.client_envelope Sim.Link.t array;
+      (** [Reliable_fifo] links; empty under [Stabilizing] *)
+  mutable round : int;
+  transport : port_transport;
+}
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  ?medium:medium ->
+  link_delay:(Sim.Rng.t -> Sim.Link.sampler) ->
+  unit ->
+  t
+(** [link_delay] builds a delay sampler per directed link from a split
+    generator; in sync mode it must respect the mode's [max_delay] for
+    links touching correct processes.  [medium] defaults to
+    [Reliable_fifo]. *)
+
+val corrupt_transport : client_port -> Sim.Rng.t -> unit
+(** Transient fault on the port's [Stabilizing] transports (both ends' tag
+    state and packets in flight); no-op under [Reliable_fifo]. *)
+
+val engine : t -> Sim.Engine.t
+
+val params : t -> Params.t
+
+val endpoints : t -> endpoint array
+
+val set_correct : t -> (int -> bool) -> unit
+(** Ground truth for the synchronized-delivery property; updated by the
+    adversary when Byzantine faults are mobile (footnote 1). *)
+
+val is_correct : t -> int -> bool
+
+val add_client : t -> id:int -> client_port
+(** Create (or return the existing) port for client [id]. *)
+
+val client_ports : t -> (int * client_port) list
+
+val reply : t -> server:int -> client:int -> Messages.to_client -> round:int -> unit
+(** Send an acknowledgment from server [server] to client [client] on
+    their FIFO link (used by server deployments, honest or Byzantine). *)
+
+val install_honest_server : t -> Server.t -> unit
+(** Wire server slot [Server.id] to the honest automaton. *)
+
+val ss_broadcast : t -> client_port -> inst:int -> Messages.to_server -> int
+(** Blocking (fiber) ss-broadcast of one protocol message to all servers;
+    bumps the trace counter ["ss.broadcasts"].  Returns the data-link round
+    tag used, which the caller passes to {!Collect.acks} — capturing it at
+    broadcast time keeps the matching correct even if a transient fault
+    corrupts the port's tag while the round trip is in flight. *)

@@ -1,0 +1,45 @@
+type mode =
+  | Async
+  | Sync of { max_delay : int; slack : int }
+
+type t = { n : int; f : int; mode : mode }
+
+let satisfies_bound t =
+  match t.mode with
+  | Async -> t.n >= (8 * t.f) + 1
+  | Sync _ -> t.n >= (3 * t.f) + 1
+
+let create_unchecked ~n ~f ~mode =
+  if n <= 0 then invalid_arg "Params: n must be positive";
+  if f < 0 then invalid_arg "Params: f must be non-negative";
+  { n; f; mode }
+
+let create ~n ~f ~mode =
+  let t = create_unchecked ~n ~f ~mode in
+  if satisfies_bound t then Ok t
+  else
+    Error
+      (Printf.sprintf "resilience bound violated: n=%d, t=%d requires %s" n f
+         (match mode with
+         | Async -> "n >= 8t+1 (asynchronous)"
+         | Sync _ -> "n >= 3t+1 (synchronous)"))
+
+let create_exn ~n ~f ~mode =
+  match create ~n ~f ~mode with Ok t -> t | Error msg -> invalid_arg msg
+
+let ack_wait t = match t.mode with Async -> t.n - t.f | Sync _ -> t.n
+
+let read_quorum t =
+  match t.mode with Async -> (2 * t.f) + 1 | Sync _ -> t.f + 1
+
+let help_refresh_threshold t =
+  match t.mode with Async -> (4 * t.f) + 1 | Sync _ -> t.f + 1
+
+let sync_timeout t =
+  match t.mode with
+  | Async -> None
+  | Sync { max_delay; slack } -> Some ((2 * max_delay) + slack)
+
+let pp ppf t =
+  Format.fprintf ppf "{n=%d; t=%d; %s}" t.n t.f
+    (match t.mode with Async -> "async" | Sync _ -> "sync")

@@ -1,0 +1,52 @@
+(** System parameters and the paper's quorum thresholds.
+
+    The asynchronous constructions (Figs. 2 and 3) require [n >= 8t + 1];
+    the synchronous ones (Fig. 5 and the §4 remark) require [n >= 3t + 1].
+    The reader/writer thresholds differ accordingly:
+
+    {v
+                          asynchronous (t < n/8)   synchronous (t < n/3)
+    acks awaited                n - t              n  (or timeout)
+    last_val / helping quorum   2t + 1             t + 1
+    writer help-refresh check   4t + 1             t + 1
+    v} *)
+
+type mode =
+  | Async
+  | Sync of { max_delay : int; slack : int }
+      (** [max_delay] is the known bound (in ticks) on message transfer
+          delays of links touching correct processes; waits time out after
+          a round trip plus [slack]. *)
+
+type t = private { n : int; f : int; mode : mode }
+(** [n] servers of which at most [f] are Byzantine (the paper's [t];
+    renamed to avoid clashing with the conventional type name [t]). *)
+
+val create : n:int -> f:int -> mode:mode -> (t, string) result
+(** Validates the resilience bound for the mode. *)
+
+val create_exn : n:int -> f:int -> mode:mode -> t
+
+val create_unchecked : n:int -> f:int -> mode:mode -> t
+(** Skip the resilience validation — used by the tightness experiments that
+    deliberately run the algorithms outside their assumptions. *)
+
+val satisfies_bound : t -> bool
+(** [n >= 8f+1] (async) resp. [n >= 3f+1] (sync). *)
+
+val ack_wait : t -> int
+(** How many acknowledgments a client waits for: [n - f] async, [n] sync
+    (with timeout). *)
+
+val read_quorum : t -> int
+(** Matching-value threshold at the reader (lines 12/14): [2f+1] async,
+    [f+1] sync. *)
+
+val help_refresh_threshold : t -> int
+(** Writer's line-03 threshold for skipping NEW_HELP_VAL: [4f+1] async,
+    [f+1] sync. *)
+
+val sync_timeout : t -> Sim.Vtime.span option
+(** Round-trip timeout in sync mode; [None] in async mode. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+let find ~eq ~threshold xs =
+  if threshold <= 0 then invalid_arg "Quorum.find: threshold must be positive";
+  let count x = List.length (List.filter (eq x) xs) in
+  let rec scan seen = function
+    | [] -> None
+    | x :: rest ->
+      if List.exists (eq x) seen then scan seen rest
+      else if count x >= threshold then Some x
+      else scan (x :: seen) rest
+  in
+  scan [] xs
+
+let find_cell ~threshold cells =
+  find ~eq:Messages.cell_equal ~threshold cells
+
+let find_help ~threshold helps =
+  let non_bot = List.filter_map (fun h -> h) helps in
+  find ~eq:Messages.cell_equal ~threshold non_bot

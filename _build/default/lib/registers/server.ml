@@ -1,0 +1,40 @@
+type instance = { mutable last_val : Messages.cell; mutable helping : Messages.help }
+
+type t = { id : int; insts : (int, instance) Hashtbl.t }
+
+let create ~id = { id; insts = Hashtbl.create 4 }
+
+let id t = t.id
+
+let instance t inst =
+  match Hashtbl.find_opt t.insts inst with
+  | Some i -> i
+  | None ->
+    let i = { last_val = Messages.bot_cell; helping = None } in
+    Hashtbl.add t.insts inst i;
+    i
+
+let instances t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.insts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let handle t (env : Messages.server_envelope) =
+  let i = instance t env.inst in
+  match env.body with
+  | Messages.Write c ->
+    i.last_val <- c;
+    Some (Messages.Ack_write i.helping)
+  | Messages.New_help c ->
+    i.helping <- Some c;
+    None
+  | Messages.Read new_read ->
+    if new_read then i.helping <- None;
+    Some (Messages.Ack_read (i.last_val, i.helping))
+
+let corrupt t rng =
+  Hashtbl.iter
+    (fun _ i ->
+      i.last_val <- Messages.arbitrary_cell rng;
+      i.helping <-
+        (if Sim.Rng.bool rng then None else Some (Messages.arbitrary_cell rng)))
+    t.insts

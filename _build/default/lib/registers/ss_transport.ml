@@ -1,0 +1,172 @@
+type 'm packet = { tag : int; body : 'm }
+
+type 'm t = {
+  engine : Sim.Engine.t;
+  retrans : int;
+  tag_space : int;
+  data : 'm packet Sim.Lossy_link.t;
+  mutable acks : int Sim.Lossy_link.t option; (* ack channel, built second *)
+  (* sender state *)
+  queue : ('m * (unit -> unit) option) Queue.t;
+  mutable current : ('m * (unit -> unit) option) option;
+  mutable tag : int;
+  mutable timer_armed : bool;
+  mutable sent : int;
+  (* receiver state *)
+  mutable last_tag : int;
+  mutable stale_tag : int;
+  mutable stale_streak : int;
+  mutable stale_seen_at : Sim.Vtime.t;
+}
+
+let resync_threshold = 3
+
+let rec arm_timer t =
+  if not t.timer_armed then begin
+    t.timer_armed <- true;
+    Sim.Engine.schedule t.engine ~delay:t.retrans (fun () ->
+        t.timer_armed <- false;
+        match t.current with
+        | Some _ ->
+          xmit t;
+          arm_timer t
+        | None -> ())
+  end
+
+and xmit t =
+  match t.current with
+  | None -> ()
+  | Some (body, _) ->
+    t.sent <- t.sent + 1;
+    Sim.Lossy_link.send t.data { tag = t.tag; body }
+
+let pump t =
+  match t.current with
+  | Some _ -> ()
+  | None ->
+    if not (Queue.is_empty t.queue) then begin
+      t.current <- Some (Queue.pop t.queue);
+      t.tag <- (t.tag + 1) mod t.tag_space;
+      xmit t;
+      arm_timer t
+    end
+
+let on_ack t tag =
+  match t.current with
+  | Some (_, callback) when tag = t.tag ->
+    t.current <- None;
+    (match callback with Some f -> f () | None -> ());
+    pump t
+  | Some _ | None -> () (* stale or spurious acknowledgment *)
+
+(* Receiver: deliver on clockwise-newer tags; resync when the same rejected
+   tag keeps arriving (only live retransmissions repeat persistently).
+   Crucially, acknowledge ONLY tags that were delivered (now or earlier):
+   acknowledging a rejected packet would let the sender advance past a
+   message the receiver dropped, losing it for good. *)
+let on_packet t ~deliver (pkt : 'm packet) =
+  let ack () =
+    match t.acks with
+    | Some acks -> Sim.Lossy_link.send acks pkt.tag
+    | None -> ()
+  in
+  let newer =
+    (* Clockwise order with a window of half the tag space. *)
+    pkt.tag <> t.last_tag
+    && (pkt.tag - t.last_tag + t.tag_space) mod t.tag_space
+       < t.tag_space / 2
+  in
+  if pkt.tag = t.last_tag then begin
+    (* Duplicate of the delivered message: re-acknowledge (the previous
+       acknowledgment may have been lost). *)
+    t.stale_streak <- 0;
+    ack ()
+  end
+  else if newer then begin
+    t.last_tag <- pkt.tag;
+    t.stale_streak <- 0;
+    deliver pkt.body;
+    ack ()
+  end
+  else if pkt.tag = t.stale_tag then begin
+    (* Only a live sender repeats a tag at retransmission spacing; stale
+       duplicates drain in bursts.  Count the streak only across spaced
+       arrivals. *)
+    let now = Sim.Engine.now t.engine in
+    if Sim.Vtime.diff now t.stale_seen_at >= t.retrans / 2 then begin
+      t.stale_streak <- t.stale_streak + 1;
+      t.stale_seen_at <- now
+    end;
+    if t.stale_streak >= resync_threshold then begin
+      (* A persistently repeated "old" tag is the live sender blocked
+         behind our corrupted state: adopt it. *)
+      t.last_tag <- pkt.tag;
+      t.stale_streak <- 0;
+      deliver pkt.body;
+      ack ()
+    end
+  end
+  else begin
+    t.stale_tag <- pkt.tag;
+    t.stale_streak <- 1;
+    t.stale_seen_at <- Sim.Engine.now t.engine
+  end
+
+let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?(retrans = 25)
+    ?(tag_space = 1024) ~name ~deliver () =
+  if retrans <= 0 then invalid_arg "Ss_transport.create: retrans must be positive";
+  if tag_space < 8 then invalid_arg "Ss_transport.create: tag space too small";
+  let rec t =
+    lazy
+      {
+        engine;
+        retrans;
+        tag_space;
+        data =
+          Sim.Lossy_link.create ~engine ~rng:(Sim.Rng.split rng)
+            ~delay ~loss ~dup ~name:(name ^ ".data")
+            ~deliver:(fun pkt -> on_packet (Lazy.force t) ~deliver pkt)
+            ();
+        acks = None;
+        queue = Queue.create ();
+        current = None;
+        tag = 0;
+        timer_armed = false;
+        sent = 0;
+        last_tag = 0;
+        stale_tag = -1;
+        stale_streak = 0;
+        stale_seen_at = Sim.Vtime.zero;
+      }
+  in
+  let t = Lazy.force t in
+  t.acks <-
+    Some
+      (Sim.Lossy_link.create ~engine ~rng:(Sim.Rng.split rng) ~delay ~loss
+         ~dup ~name:(name ^ ".ack")
+         ~deliver:(fun tag -> on_ack t tag)
+         ());
+  t
+
+let send t ?on_delivered m =
+  Queue.push (m, on_delivered) t.queue;
+  pump t
+
+let pending t =
+  Queue.length t.queue + match t.current with Some _ -> 1 | None -> 0
+
+let packets_sent t = t.sent
+
+let corrupt t rng =
+  t.tag <- Sim.Rng.int rng t.tag_space;
+  t.last_tag <- Sim.Rng.int rng t.tag_space;
+  t.stale_streak <- 0;
+  t.stale_tag <- -1;
+  Sim.Lossy_link.corrupt_in_flight t.data (fun pkt ->
+      if Sim.Rng.bool rng then None
+      else Some { pkt with tag = Sim.Rng.int rng t.tag_space });
+  match t.acks with
+  | Some acks ->
+    Sim.Lossy_link.corrupt_in_flight acks (fun _ ->
+        Some (Sim.Rng.int rng t.tag_space))
+  | None -> ()

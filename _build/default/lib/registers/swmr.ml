@@ -1,0 +1,28 @@
+type writer = { copies : Swsr_atomic.writer array }
+
+type reader = { sr : Swsr_atomic.reader }
+
+let writer ~net ~client_id ~base_inst ~readers ?(modulus = Seqnum.default_modulus)
+    () =
+  if readers <= 0 then invalid_arg "Swmr.writer: need at least one reader";
+  {
+    copies =
+      Array.init readers (fun j ->
+          Swsr_atomic.writer ~net ~client_id ~inst:(base_inst + j) ~modulus ());
+  }
+
+let reader ~net ~client_id ~base_inst ~reader_index
+    ?(modulus = Seqnum.default_modulus) () =
+  {
+    sr =
+      Swsr_atomic.reader ~net ~client_id ~inst:(base_inst + reader_index)
+        ~modulus ();
+  }
+
+let write w v = Array.iter (fun c -> Swsr_atomic.write c v) w.copies
+
+let read ?max_iterations r = Swsr_atomic.read ?max_iterations r.sr
+
+let copies w = w.copies
+
+let sr_reader r = r.sr

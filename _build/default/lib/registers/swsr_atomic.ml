@@ -1,0 +1,140 @@
+type writer = {
+  net : Net.t;
+  port : Net.client_port;
+  inst : int;
+  modulus : int;
+  mutable wsn : Seqnum.t;
+}
+
+type reader = {
+  net : Net.t;
+  port : Net.client_port;
+  inst : int;
+  modulus : int;
+  sanity_check : bool;
+  mutable pwsn : Seqnum.t;
+  mutable pv : Value.t;
+  mutable iterations : int;
+  mutable help_returns : int;
+  mutable preventions : int;
+}
+
+let writer ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus) () =
+  Seqnum.validate_modulus modulus;
+  { net; port = Net.add_client net ~id:client_id; inst; modulus; wsn = Seqnum.zero }
+
+let reader ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus)
+    ?(sanity_check = true) () =
+  Seqnum.validate_modulus modulus;
+  {
+    net;
+    port = Net.add_client net ~id:client_id;
+    inst;
+    modulus;
+    sanity_check;
+    pwsn = Seqnum.zero;
+    pv = Value.bot;
+    iterations = 0;
+    help_returns = 0;
+    preventions = 0;
+  }
+
+(* prac_at_write(v): lines N1, 01M, 02-06. *)
+let write (w : writer) v =
+  w.wsn <- Seqnum.succ ~modulus:w.modulus w.wsn;
+  let cell = { Messages.sn = w.wsn; v } in
+  let round = Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.Write cell) in
+  let helps = Collect.ack_writes ~net:w.net ~port:w.port ~round in
+  let threshold = Params.help_refresh_threshold (Net.params w.net) in
+  (match Quorum.find_help ~threshold helps with
+  | Some _ -> ()
+  | None ->
+    ignore (Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.New_help cell)));
+  Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops"
+
+(* prac_at_read(): lines N2-N7 (sanity check) then 07-18 with 13M/15M. *)
+let read ?(max_iterations = max_int) (r : reader) =
+  let params = Net.params r.net in
+  let threshold = Params.read_quorum params in
+  let modulus = r.modulus in
+  (* Lines N2-N7: sanity-check the local pair (pwsn, pv) against a quorum
+     of helping values.  READ(false) does not reset any helping_val. *)
+  if r.sanity_check then begin
+    let round =
+      Net.ss_broadcast r.net r.port ~inst:r.inst (Messages.Read false)
+    in
+    let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in
+    match Quorum.find_help ~threshold (List.map snd acks) with
+    | Some { Messages.sn; v } ->
+      if Seqnum.gt_cd ~modulus r.pwsn sn then begin
+        r.pwsn <- sn;
+        r.pv <- v
+      end
+    | None -> ()
+  end;
+  (* Lines 07-18. *)
+  let new_read = ref true in
+  let rec loop budget =
+    if budget <= 0 then None
+    else begin
+      r.iterations <- r.iterations + 1;
+      let round =
+        Net.ss_broadcast r.net r.port ~inst:r.inst (Messages.Read !new_read)
+      in
+      new_read := false;
+      let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in
+      match Quorum.find_cell ~threshold (List.map fst acks) with
+      | Some { Messages.sn; v } ->
+        if Seqnum.gt_cd ~modulus sn r.pwsn then begin
+          (* line 13M2 *)
+          r.pwsn <- sn;
+          r.pv <- v;
+          Some v
+        end
+        else begin
+          (* line 13M3: prevention of new/old inversion *)
+          r.preventions <- r.preventions + 1;
+          Some r.pv
+        end
+      | None -> (
+        match Quorum.find_help ~threshold (List.map snd acks) with
+        | Some { Messages.sn; v } ->
+          (* line 15M: already atomic *)
+          r.pwsn <- sn;
+          r.pv <- v;
+          r.help_returns <- r.help_returns + 1;
+          Some v
+        | None -> loop (budget - 1))
+    end
+  in
+  let result = loop max_iterations in
+  Sim.Trace.incr (Sim.Engine.trace (Net.engine r.net)) "read.ops";
+  result
+
+let wsn w = w.wsn
+
+let set_wsn (w : writer) sn = w.wsn <- Seqnum.norm ~modulus:w.modulus sn
+
+let pwsn r = r.pwsn
+
+let pv r = r.pv
+
+let corrupt_writer (w : writer) rng = w.wsn <- Sim.Rng.int rng w.modulus
+
+let corrupt_reader r rng =
+  r.pwsn <- Sim.Rng.int rng r.modulus;
+  r.pv <- Value.arbitrary rng
+
+let corrupt_reader_to r ~pwsn ~pv =
+  r.pwsn <- Seqnum.norm ~modulus:r.modulus pwsn;
+  r.pv <- pv
+
+let reader_iterations r = r.iterations
+
+let help_returns r = r.help_returns
+
+let inversion_preventions r = r.preventions
+
+let writer_port (w : writer) = w.port
+
+let reader_port (r : reader) = r.port

@@ -1,0 +1,72 @@
+type writer = { net : Net.t; port : Net.client_port; inst : int }
+
+type reader = {
+  net : Net.t;
+  port : Net.client_port;
+  inst : int;
+  mutable iterations : int;
+  mutable help_returns : int;
+}
+
+let writer ~net ~client_id ~inst =
+  { net; port = Net.add_client net ~id:client_id; inst }
+
+let reader ~net ~client_id ~inst =
+  {
+    net;
+    port = Net.add_client net ~id:client_id;
+    inst;
+    iterations = 0;
+    help_returns = 0;
+  }
+
+(* operation write(v): lines 01-06.  The regular register carries no
+   sequence number, so cells use sn = 0 throughout. *)
+let write (w : writer) v =
+  let cell = { Messages.sn = Seqnum.zero; v } in
+  let round = Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.Write cell) in
+  let helps = Collect.ack_writes ~net:w.net ~port:w.port ~round in
+  let threshold = Params.help_refresh_threshold (Net.params w.net) in
+  (match Quorum.find_help ~threshold helps with
+  | Some _ -> ()
+  | None ->
+    ignore (Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.New_help cell)));
+  Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops"
+
+(* operation read(): lines 07-18. *)
+let read ?(max_iterations = max_int) (r : reader) =
+  let params = Net.params r.net in
+  let threshold = Params.read_quorum params in
+  let new_read = ref true in
+  let rec loop budget =
+    if budget <= 0 then None
+    else begin
+      r.iterations <- r.iterations + 1;
+      let round =
+        Net.ss_broadcast r.net r.port ~inst:r.inst (Messages.Read !new_read)
+      in
+      new_read := false;
+      let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in
+      let lasts = List.map fst acks in
+      match Quorum.find_cell ~threshold lasts with
+      | Some cell -> Some cell.Messages.v (* line 13: regular or atomic *)
+      | None -> (
+        let helps = List.map snd acks in
+        match Quorum.find_help ~threshold helps with
+        | Some cell ->
+          r.help_returns <- r.help_returns + 1;
+          Some cell.Messages.v (* line 15: atomic *)
+        | None -> loop (budget - 1))
+    end
+  in
+  let result = loop max_iterations in
+  Sim.Trace.incr (Sim.Engine.trace (Net.engine r.net)) "read.ops";
+  result
+
+let reader_iterations r = r.iterations
+
+let help_returns r = r.help_returns
+
+let writer_port (w : writer) = w.port
+
+let reader_port (r : reader) = r.port

@@ -1,0 +1,43 @@
+(** Stabilizing Byzantine-tolerant SWSR {e regular} register — Figure 2
+    (asynchronous, [t < n/8]) and Figure 5 (synchronous, [t < n/3]).
+
+    The two algorithms differ only in their wait statements and thresholds,
+    which {!Params} captures; the client code below is written once against
+    those thresholds, exactly as the paper presents Fig. 5 as "a simple
+    adaptation" of Fig. 2.
+
+    The register stabilizes after the first write invoked after transient
+    faults stop: reads issued before that may return arbitrary values
+    (eventual regularity). *)
+
+type writer
+
+type reader
+
+val writer : net:Net.t -> client_id:int -> inst:int -> writer
+(** The (unique) writer endpoint for register instance [inst]. *)
+
+val reader : net:Net.t -> client_id:int -> inst:int -> reader
+(** The (unique) reader endpoint for register instance [inst]. *)
+
+val write : writer -> Value.t -> unit
+(** REG.write(v), lines 01–06.  Must run inside a fiber. *)
+
+val read : ?max_iterations:int -> reader -> Value.t option
+(** REG.read(), lines 07–18.  Must run inside a fiber.  Returns [None] only
+    if [max_iterations] (default unlimited) inquiry rounds all failed —
+    the paper's loop is unbounded and provably terminates under the model
+    assumptions; the bound exists so experiments can run the algorithm
+    outside those assumptions without hanging. *)
+
+val reader_iterations : reader -> int
+(** Total inquiry-loop iterations executed by this reader so far (cost
+    metric for experiment E5). *)
+
+val help_returns : reader -> int
+(** How many reads returned through the helping path (lines 14–15). *)
+
+val writer_port : writer -> Net.client_port
+(** The writer's communication port (fault-injection target). *)
+
+val reader_port : reader -> Net.client_port

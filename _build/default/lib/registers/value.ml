@@ -1,0 +1,35 @@
+type t = Bot | Int of int | Str of string | Stamped of stamped
+
+and stamped = { data : t; epoch : Epoch.t; seq : int }
+
+let rec equal v1 v2 =
+  match (v1, v2) with
+  | Bot, Bot -> true
+  | Int a, Int b -> a = b
+  | Str a, Str b -> String.equal a b
+  | Stamped a, Stamped b ->
+    a.seq = b.seq && Epoch.equal a.epoch b.epoch && equal a.data b.data
+  | (Bot | Int _ | Str _ | Stamped _), _ -> false
+
+let compare = Stdlib.compare
+
+let bot = Bot
+
+let int i = Int i
+
+let str s = Str s
+
+let stamped ~data ~epoch ~seq = Stamped { data; epoch; seq }
+
+let arbitrary rng =
+  if Sim.Rng.bool rng then Int (Sim.Rng.int rng 1_000_000)
+  else Str (Printf.sprintf "junk-%d" (Sim.Rng.int rng 1_000_000))
+
+let rec pp ppf = function
+  | Bot -> Format.pp_print_string ppf "⊥"
+  | Int i -> Format.fprintf ppf "%d" i
+  | Str s -> Format.fprintf ppf "%S" s
+  | Stamped { data; epoch; seq } ->
+    Format.fprintf ppf "<%a @@ %a/%d>" pp data Epoch.pp epoch seq
+
+let to_string v = Format.asprintf "%a" pp v

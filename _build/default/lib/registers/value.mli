@@ -1,0 +1,35 @@
+(** Register value domain.
+
+    The registers store opaque values compared structurally.  [Stamped]
+    packs the [(value, epoch, seq)] triples exchanged between the MWMR
+    construction and its underlying SWMR registers (§5.2); [Bot] is the
+    default-initialized content standing for the arbitrary initial value of
+    an unwritten (or corrupted) register. *)
+
+type t =
+  | Bot  (** unwritten / unknown *)
+  | Int of int
+  | Str of string
+  | Stamped of stamped
+      (** an MWMR triple travelling through an underlying SWMR register *)
+
+and stamped = { data : t; epoch : Epoch.t; seq : int }
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val bot : t
+
+val int : int -> t
+
+val str : string -> t
+
+val stamped : data:t -> epoch:Epoch.t -> seq:int -> t
+
+val arbitrary : Sim.Rng.t -> t
+(** A random non-[Stamped] value, for transient-fault injection. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Engine List Printf Rng String Trace

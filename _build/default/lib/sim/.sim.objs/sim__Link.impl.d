@@ -1,0 +1,1 @@
+lib/sim/link.ml: Engine List Rng Trace Vtime

@@ -1,0 +1,1 @@
+lib/sim/lossy_link.ml: Engine Link List Rng Trace

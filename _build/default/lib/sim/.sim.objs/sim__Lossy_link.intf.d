@@ -1,0 +1,1 @@
+lib/sim/lossy_link.mli: Engine Link Rng

@@ -1,0 +1,58 @@
+type event = { time : Vtime.t; seq : int; action : unit -> unit }
+
+type t = {
+  mutable clock : Vtime.t;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  rng : Rng.t;
+  trace : Trace.t;
+}
+
+let compare_event a b =
+  let c = Vtime.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?trace ~rng () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  { clock = Vtime.zero; next_seq = 0; queue = Heap.create ~cmp:compare_event; rng; trace }
+
+let now t = t.clock
+
+let rng t = t.rng
+
+let trace t = t.trace
+
+let schedule_at t time action =
+  let time = Vtime.max time t.clock in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time; seq; action }
+
+let schedule t ~delay action =
+  schedule_at t (Vtime.add t.clock (max delay 0)) action
+
+let run ?until ?(max_events = max_int) t =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue && !fired < max_events do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev ->
+      let past_deadline =
+        match until with Some u -> Vtime.( < ) u ev.time | None -> false
+      in
+      if past_deadline then continue := false
+      else begin
+        ignore (Heap.pop t.queue);
+        t.clock <- ev.time;
+        incr fired;
+        ev.action ()
+      end
+  done;
+  match until with
+  | Some u when Vtime.( < ) t.clock u && !fired < max_events -> t.clock <- u
+  | _ -> ()
+
+let pending t = Heap.length t.queue
+
+let quiescent t = Heap.is_empty t.queue

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    The engine owns virtual time and a priority queue of pending actions.
+    Everything else (links, fibers, fault plans) schedules thunks here.
+    Two events at the same instant fire in scheduling order, which keeps
+    executions deterministic. *)
+
+type t
+
+val create : ?trace:Trace.t -> rng:Rng.t -> unit -> t
+(** A fresh engine at time {!Vtime.zero}. [rng] is the root generator from
+    which component generators should be {!Rng.split}. *)
+
+val now : t -> Vtime.t
+
+val rng : t -> Rng.t
+
+val trace : t -> Trace.t
+
+val schedule : t -> delay:Vtime.span -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + max delay 0]. *)
+
+val schedule_at : t -> Vtime.t -> (unit -> unit) -> unit
+(** Like {!schedule} with an absolute instant; instants in the past fire at
+    the current time. *)
+
+val run : ?until:Vtime.t -> ?max_events:int -> t -> unit
+(** Process events until the queue is empty, [until] is reached, or
+    [max_events] events have fired.  Events scheduled exactly at [until]
+    still fire. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val quiescent : t -> bool
+(** [true] when no events are queued. *)

@@ -1,0 +1,36 @@
+type target = { name : string; corrupt : Rng.t -> unit }
+
+type t = { mutable targets : target list (* newest first *) }
+
+let create () = { targets = [] }
+
+let register t ~name corrupt = t.targets <- { name; corrupt } :: t.targets
+
+let names t = List.rev_map (fun tg -> tg.name) t.targets
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let inject_matching t ~rng ~prefix =
+  let hit = ref 0 in
+  List.iter
+    (fun tg ->
+      if starts_with ~prefix tg.name then begin
+        incr hit;
+        tg.corrupt rng
+      end)
+    (List.rev t.targets);
+  !hit
+
+let inject_all t ~rng = inject_matching t ~rng ~prefix:""
+
+let schedule t ~engine ~at ~prefix =
+  let rng = Rng.split (Engine.rng engine) in
+  Engine.schedule_at engine at (fun () ->
+      let hit = inject_matching t ~rng ~prefix in
+      Trace.emit (Engine.trace engine) ~time:(Engine.now engine)
+        ~tag:"fault"
+        (Printf.sprintf "transient fault: corrupted %d targets (prefix %S)" hit
+           prefix);
+      Trace.add (Engine.trace engine) "fault.injections" hit)

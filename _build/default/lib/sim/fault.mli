@@ -1,0 +1,34 @@
+(** Transient-fault injection.
+
+    The paper's transient faults arbitrarily modify the local variables of
+    any process (writer, reader, servers) and the state of the links; after
+    an unknown time [tau_no_tr] they stop.  Components register their
+    corruptible state here under hierarchical names
+    (e.g. ["server.3.cell"], ["client.reader.pwsn"], ["link.s2->r"]); a
+    fault plan then corrupts a chosen subset at chosen instants.
+
+    Corruption functions receive a generator so that "arbitrary" values are
+    drawn deterministically from the experiment seed. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> (Rng.t -> unit) -> unit
+(** Expose one piece of mutable state to the injector. Multiple
+    registrations may share a name. *)
+
+val names : t -> string list
+(** Registered target names, in registration order (duplicates kept). *)
+
+val inject_matching : t -> rng:Rng.t -> prefix:string -> int
+(** Corrupt every target whose name starts with [prefix]; returns how many
+    targets were hit. *)
+
+val inject_all : t -> rng:Rng.t -> int
+(** Corrupt every registered target (a full "arbitrary configuration"). *)
+
+val schedule : t -> engine:Engine.t -> at:Vtime.t -> prefix:string -> unit
+(** Arrange for [inject_matching ~prefix] to run at instant [at], drawing
+    from a generator split off the engine's.  Use prefix [""] for
+    everything. *)

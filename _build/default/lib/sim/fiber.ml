@@ -1,0 +1,36 @@
+open Effect
+open Effect.Deep
+
+type status = Running | Done | Failed of exn
+
+type handle = { mutable status : status; name : string }
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend register = perform (Suspend register)
+
+let spawn ?(name = "fiber") f =
+  let h = { status = Running; name } in
+  let handler =
+    {
+      retc = (fun () -> h.status <- Done);
+      exnc =
+        (fun e ->
+          h.status <- Failed e;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register (fun v -> continue k v))
+          | _ -> None);
+    }
+  in
+  match_with f () handler;
+  h
+
+let status h = h.status
+
+let name h = h.name

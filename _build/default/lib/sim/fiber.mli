@@ -1,0 +1,32 @@
+(** Effect-based cooperative processes.
+
+    Clients of the simulated system (the paper's writer and readers) are
+    sequential processes that block on message exchanges.  Fibers let that
+    client code be written in direct style, mirroring the paper's
+    pseudocode, while the engine remains an ordinary event loop: a fiber
+    suspends by handing the scheduler a resumption callback, and whatever
+    event completes the wait invokes the callback.
+
+    This module is the only place effect handlers appear in the library. *)
+
+type status =
+  | Running  (** spawned, not yet finished (possibly suspended) *)
+  | Done  (** ran to completion *)
+  | Failed of exn  (** raised; the exception is also re-raised at the
+                       resumption site so tests fail loudly *)
+
+type handle
+
+val spawn : ?name:string -> (unit -> unit) -> handle
+(** [spawn f] runs [f] immediately as a fiber until it finishes or first
+    suspends, and returns its handle. *)
+
+val status : handle -> status
+
+val name : handle -> string
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] suspends the calling fiber. [register resume] must
+    arrange for [resume v] to be called exactly once later (typically from
+    an engine event); the suspended fiber then continues with [v].
+    Must be called from within a fiber. *)

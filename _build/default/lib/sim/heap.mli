@@ -1,0 +1,23 @@
+(** Polymorphic binary min-heap, used as the simulator's event queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** A fresh empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val clear : 'a t -> unit
+
+val iter_unordered : 'a t -> ('a -> unit) -> unit
+(** Visit every element in unspecified order (inspection only). *)

@@ -1,0 +1,51 @@
+(** Directed FIFO reliable link with per-message sampled delays.
+
+    Matches the paper's communication model (Section 2.1): each link is
+    FIFO and reliable — no loss, corruption, duplication or creation —
+    during normal operation.  Transient faults, however, may arbitrarily
+    modify the link state (the messages in transit); {!corrupt_in_flight}
+    and {!inject} exist for the fault injector, not for protocols.
+
+    In the synchronous model of Section 3.3, delays on every link touching
+    a correct process are bounded; build such links with a bounded
+    {!sampler}. *)
+
+type 'm t
+
+type sampler = unit -> Vtime.span
+
+val uniform : Rng.t -> lo:int -> hi:int -> sampler
+(** Uniform integer delays in [\[lo, hi\]]. *)
+
+val fixed : int -> sampler
+
+val bimodal : Rng.t -> fast:int * int -> slow:int * int -> slow_probability:float -> sampler
+(** Mostly-[fast] delays with occasional [slow] stragglers — a
+    heavier-tailed medium that exercises interleavings uniform sampling
+    rarely produces. *)
+
+val create :
+  engine:Engine.t -> delay:sampler -> name:string -> deliver:('m -> unit) -> 'm t
+(** [create ~engine ~delay ~name ~deliver] is a link whose receiving end
+    processes each message with [deliver].  Every delivery bumps the
+    engine-trace counter ["net.msgs"]. *)
+
+val send : 'm t -> 'm -> unit
+(** Transmit a message.  Arrival time is [now + delay ()], pushed later if
+    needed to preserve FIFO order with messages already in flight. *)
+
+val send_timed : 'm t -> 'm -> Vtime.t
+(** Like {!send}, also returning the chosen arrival instant.  The
+    ss-broadcast implementation uses this to realize the synchronized
+    delivery property (return after the (n-2t)-th correct delivery). *)
+
+val in_flight : 'm t -> 'm list
+(** Messages currently in transit, in arrival order. *)
+
+val corrupt_in_flight : 'm t -> ('m -> 'm option) -> unit
+(** Transient-fault hook: rewrite each in-transit message; [None] drops it.
+    Arrival times are unchanged. *)
+
+val inject : 'm t -> 'm -> unit
+(** Transient-fault hook: add a spurious message to the link (it obeys the
+    same FIFO arrival discipline as {!send}). *)

@@ -1,0 +1,51 @@
+type 'm entry = { id : int; mutable payload : 'm option }
+
+type 'm t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  delay : Link.sampler;
+  loss : float;
+  dup : float;
+  name : string;
+  deliver : 'm -> unit;
+  mutable next_id : int;
+  mutable flight : 'm entry list;
+}
+
+let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ~name ~deliver () =
+  if loss < 0.0 || loss >= 1.0 then
+    invalid_arg "Lossy_link.create: loss must be in [0,1)";
+  if dup < 0.0 || dup >= 1.0 then
+    invalid_arg "Lossy_link.create: dup must be in [0,1)";
+  { engine; rng; delay; loss; dup; name; deliver; next_id = 0; flight = [] }
+
+let rec transmit ?(lossless = false) ?(can_dup = true) t payload =
+  Trace.incr (Engine.trace t.engine) "net.pkts";
+  if lossless || Rng.float t.rng 1.0 >= t.loss then begin
+    let entry = { id = t.next_id; payload = Some payload } in
+    t.next_id <- entry.id + 1;
+    t.flight <- entry :: t.flight;
+    Engine.schedule t.engine ~delay:(t.delay ()) (fun () ->
+        t.flight <- List.filter (fun e -> e.id <> entry.id) t.flight;
+        match entry.payload with
+        | None -> ()
+        | Some m ->
+          Trace.incr (Engine.trace t.engine) "net.msgs";
+          (* Duplication: the packet is delivered once more after another
+             (lossless) transit.  A copy never re-duplicates: the medium
+             has bounded capacity, so duplicate chains are bounded. *)
+          if can_dup && Rng.float t.rng 1.0 < t.dup then
+            transmit ~lossless:true ~can_dup:false t m;
+          t.deliver m)
+  end
+
+let send t m = transmit t m
+
+let inject t m = transmit ~lossless:true t m
+
+let corrupt_in_flight t f =
+  List.iter
+    (fun e -> match e.payload with None -> () | Some m -> e.payload <- f m)
+    t.flight
+
+let in_flight t = List.filter_map (fun e -> e.payload) t.flight

@@ -1,0 +1,37 @@
+(** Directed {e unreliable} link: loss, duplication, reordering, and
+    corruptible in-flight contents.
+
+    This is the raw medium underneath the self-stabilizing transport
+    ({!Registers.Ss_transport} in the registers library): everything
+    {!Link} guarantees, dropped.  Each transmitted packet independently
+    vanishes with probability [loss]; a delivered packet is re-delivered
+    once more with probability [dup] (after a fresh delay); delays are
+    sampled per packet with no FIFO correction, so reordering is the
+    norm. *)
+
+type 'm t
+
+val create :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  delay:Link.sampler ->
+  ?loss:float ->
+  ?dup:float ->
+  name:string ->
+  deliver:('m -> unit) ->
+  unit ->
+  'm t
+(** [loss] and [dup] default to [0.0]. *)
+
+val send : 'm t -> 'm -> unit
+(** Transmit one packet (counted in the trace counter ["net.pkts"] even
+    when subsequently lost; deliveries bump ["net.msgs"]). *)
+
+val inject : 'm t -> 'm -> unit
+(** Transient-fault hook: place a spurious packet in flight (never lost,
+    may still duplicate). *)
+
+val corrupt_in_flight : 'm t -> ('m -> 'm option) -> unit
+(** Transient-fault hook: rewrite or drop the packets in flight. *)
+
+val in_flight : 'm t -> 'm list

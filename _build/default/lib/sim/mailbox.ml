@@ -1,0 +1,58 @@
+type 'm t = {
+  queue : 'm Queue.t;
+  mutable waiter : (int * ('m -> unit)) option;
+  mutable next_token : int;
+}
+
+let create () = { queue = Queue.create (); waiter = None; next_token = 0 }
+
+let push t m =
+  match t.waiter with
+  | Some (_, resume) ->
+    t.waiter <- None;
+    resume m
+  | None -> Queue.push m t.queue
+
+let install_waiter t resume =
+  (match t.waiter with
+  | Some _ -> invalid_arg "Mailbox: a fiber is already waiting"
+  | None -> ());
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  t.waiter <- Some (token, resume);
+  token
+
+let recv t =
+  if not (Queue.is_empty t.queue) then Queue.pop t.queue
+  else Fiber.suspend (fun resume -> ignore (install_waiter t resume))
+
+let recv_until ~engine ~deadline t =
+  if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+  else
+    Fiber.suspend (fun resume ->
+        let settled = ref false in
+        let token =
+          install_waiter t (fun m ->
+              settled := true;
+              resume (Some m))
+        in
+        Engine.schedule_at engine deadline (fun () ->
+            if not !settled then begin
+              settled := true;
+              (* Uninstall only our own waiter: the fiber may have moved on
+                 to a later recv with a fresh waiter by the time this
+                 (stale) timer fires. *)
+              (match t.waiter with
+              | Some (tok, _) when tok = token -> t.waiter <- None
+              | Some _ | None -> ());
+              resume None
+            end))
+
+let drain t =
+  let rec loop acc =
+    if Queue.is_empty t.queue then List.rev acc
+    else loop (Queue.pop t.queue :: acc)
+  in
+  loop []
+
+let length t = Queue.length t.queue

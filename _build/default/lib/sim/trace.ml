@@ -1,0 +1,43 @@
+type event = { time : Vtime.t; tag : string; detail : string }
+
+type t = {
+  record_events : bool;
+  mutable events_rev : event list;
+  counters : (string, int ref) Hashtbl.t;
+}
+
+let create ?(record_events = true) () =
+  { record_events; events_rev = []; counters = Hashtbl.create 32 }
+
+let emit t ~time ~tag detail =
+  if t.record_events then t.events_rev <- { time; tag; detail } :: t.events_rev
+
+let emit_lazy t ~time ~tag detail =
+  if t.record_events then
+    t.events_rev <- { time; tag; detail = detail () } :: t.events_rev
+
+let recording t = t.record_events
+
+let events t = List.rev t.events_rev
+
+let events_tagged t tag =
+  List.filter (fun e -> String.equal e.tag tag) (events t)
+
+let add t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counters name (ref n)
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_counters t = Hashtbl.reset t.counters
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a] %s: %s" Vtime.pp e.time e.tag e.detail

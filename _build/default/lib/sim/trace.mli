@@ -1,0 +1,43 @@
+(** Structured execution traces and counters.
+
+    Protocol and substrate code emit tagged events and bump named counters;
+    experiments read counters for their cost tables and tests assert on
+    them.  Event recording can be disabled (counters stay active) to keep
+    long benchmark runs cheap. *)
+
+type event = { time : Vtime.t; tag : string; detail : string }
+
+type t
+
+val create : ?record_events:bool -> unit -> t
+
+val emit : t -> time:Vtime.t -> tag:string -> string -> unit
+(** Record an event (no-op when event recording is disabled). *)
+
+val emit_lazy : t -> time:Vtime.t -> tag:string -> (unit -> string) -> unit
+(** Like {!emit}, but the detail string is only computed when recording is
+    enabled — use on hot paths. *)
+
+val recording : t -> bool
+
+val events : t -> event list
+(** All recorded events, oldest first. *)
+
+val events_tagged : t -> string -> event list
+(** Recorded events with the given tag, oldest first. *)
+
+val incr : t -> string -> unit
+(** Bump a named counter by one. *)
+
+val add : t -> string -> int -> unit
+(** Bump a named counter by [n]. *)
+
+val counter : t -> string -> int
+(** Current value of a counter (0 if never bumped). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset_counters : t -> unit
+
+val pp_event : Format.formatter -> event -> unit

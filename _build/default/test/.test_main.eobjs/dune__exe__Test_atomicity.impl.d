@@ -1,0 +1,1 @@
+test/test_atomicity.ml: Atomicity History List Oracles Registers Regularity Sim Util

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Byzantine Harness List Messages Params Printf Registers Server Swsr_atomic Swsr_regular Util Value

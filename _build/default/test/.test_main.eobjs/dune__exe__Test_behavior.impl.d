@@ -1,0 +1,1 @@
+test/test_behavior.ml: Alcotest Byzantine Harness List Messages Net Printf Registers Server Swsr_regular Util Value

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Byzantine Harness List Messages Params Printf Registers Swsr_regular Util Value

@@ -1,0 +1,1 @@
+test/test_compositions.ml: Alcotest Array Byzantine Harness Kv List Mwmr Net Oracles Params Printf Registers Swmr Swmr_wb Swsr_atomic Util

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Epoch Format Hashtbl Int List QCheck Registers Sim Util

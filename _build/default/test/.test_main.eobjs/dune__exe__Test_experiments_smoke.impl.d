@@ -1,0 +1,1 @@
+test/test_experiments_smoke.ml: Exp_drivers List Printf Util

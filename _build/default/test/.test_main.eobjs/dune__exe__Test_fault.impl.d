@@ -1,0 +1,1 @@
+test/test_fault.ml: List Printf Sim String Util

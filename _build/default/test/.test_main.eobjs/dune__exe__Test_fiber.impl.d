@@ -1,0 +1,1 @@
+test/test_fiber.ml: Alcotest List Queue Sim Util

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Format History List Oracles Registers Sim String Util

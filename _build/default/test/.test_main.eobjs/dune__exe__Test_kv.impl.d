@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Array Byzantine Harness Kv List Oracles Printf Registers Sim Util

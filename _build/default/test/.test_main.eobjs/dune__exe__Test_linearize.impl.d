@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Atomicity Harness History Linearize Oracles Printf Registers Sim Util

@@ -1,0 +1,1 @@
+test/test_lossy.ml: Alcotest Byzantine Harness Int List Net Oracles Params Printf Registers Sim Ss_transport Swsr_atomic Util

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Harness List Metrics Oracles Registers Sim Util

@@ -1,0 +1,1 @@
+test/test_mwmr.ml: Alcotest Array Byzantine Harness List Mwmr Oracles Printf Registers Sim Util

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Messages Net Params Printf Registers Server Sim Util Value

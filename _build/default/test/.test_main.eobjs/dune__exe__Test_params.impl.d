@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Params Registers Result Util

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Byzantine Datalink Harness List Mwmr Net Oracles Params Printf QCheck Registers Sim Ss_transport String Swsr_atomic Swsr_regular Util Value

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Int List Messages QCheck Quorum Registers Util Value

@@ -1,0 +1,1 @@
+test/test_regularity.ml: History List Oracles Registers Regularity Sim Util

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Harness List Oracles Params Registers Sim String Swsr_atomic Swsr_regular Util

@@ -1,0 +1,1 @@
+test/test_seqnum.ml: Alcotest QCheck Registers Seqnum Util

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Byzantine Harness List Mwmr Net Oracles Printf Registers Sim Ss_transport Swsr_atomic Util Value

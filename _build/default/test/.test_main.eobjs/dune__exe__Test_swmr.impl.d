@@ -1,0 +1,1 @@
+test/test_swmr.ml: Alcotest Array Byzantine Harness List Oracles Printf Registers Sim Swmr Swmr_wb Util

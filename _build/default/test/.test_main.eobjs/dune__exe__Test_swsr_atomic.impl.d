@@ -1,0 +1,1 @@
+test/test_swsr_atomic.ml: Alcotest Byzantine Harness List Oracles Printf Registers Sim Swsr_atomic Util Value

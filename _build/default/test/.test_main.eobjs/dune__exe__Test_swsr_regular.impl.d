@@ -1,0 +1,1 @@
+test/test_swsr_regular.ml: Alcotest Byzantine Harness List Oracles Printf Registers Sim Swsr_regular Util Value

@@ -1,0 +1,1 @@
+test/test_swsr_sync.ml: Alcotest Byzantine Harness List Oracles Registers Sim Swsr_atomic Swsr_regular Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Harness Hashtbl List Oracles Registers Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Harness List QCheck_alcotest Random Registers Sim Sys

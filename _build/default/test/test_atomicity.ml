@@ -1,0 +1,180 @@
+open Util
+open Oracles
+
+let t i = Sim.Vtime.of_int i
+
+let w h inv resp v =
+  History.record h ~proc:"writer" ~kind:History.Write ~inv:(t inv)
+    ~resp:(t resp) (int_value v)
+
+let r h inv resp v =
+  History.record h ~proc:"reader" ~kind:History.Read ~inv:(t inv)
+    ~resp:(t resp) (int_value v)
+
+let test_clean_history () =
+  let h = History.create () in
+  w h 0 10 1;
+  r h 15 20 1;
+  w h 25 35 2;
+  r h 40 45 2;
+  check_true "clean" (Atomicity.Sw.is_clean (Atomicity.Sw.check h))
+
+let test_inversion_detected () =
+  let h = History.create () in
+  w h 0 10 1;
+  w h 20 100 2 (* long write, overlapping both reads *);
+  r h 30 40 2 (* sees the new value *);
+  r h 50 60 1 (* regresses: new/old inversion *);
+  let report = Atomicity.Sw.check h in
+  check_int "one inversion" 1 (List.length report.Atomicity.Sw.inversions);
+  check_true "regularity alone is satisfied"
+    (Regularity.is_clean report.Atomicity.Sw.regularity)
+
+let test_concurrent_reads_may_differ () =
+  (* Two overlapping reads may straddle a write without being inverted. *)
+  let h = History.create () in
+  w h 0 10 1;
+  w h 20 100 2;
+  r h 30 60 2;
+  r h 40 70 1;
+  (* The reads overlap each other: no real-time order, no inversion. *)
+  check_true "no inversion between concurrent reads"
+    ((Atomicity.Sw.check h).Atomicity.Sw.inversions = [])
+
+let test_malformed_overlapping_writes () =
+  let h = History.create () in
+  w h 0 20 1;
+  w h 10 30 2;
+  let report = Atomicity.Sw.check h in
+  check_true "flagged" (report.Atomicity.Sw.malformed <> [])
+
+let test_malformed_duplicate_values () =
+  let h = History.create () in
+  w h 0 10 1;
+  w h 20 30 1;
+  let report = Atomicity.Sw.check h in
+  check_true "duplicate values flagged" (report.Atomicity.Sw.malformed <> [])
+
+let test_cutoff_applies () =
+  let h = History.create () in
+  w h 0 10 1;
+  w h 20 100 2;
+  r h 30 40 2;
+  r h 50 60 1;
+  let report = Atomicity.Sw.check ~cutoff:(t 45) h in
+  check_true "pre-cutoff read excluded from inversion pairs"
+    (report.Atomicity.Sw.inversions = [])
+
+(* --- multi-writer checker --- *)
+
+let genesis = Registers.Epoch.genesis ~k:3
+
+let next = Registers.Epoch.next_epoch ~k:3 [ genesis ]
+
+let mw h proc inv resp v ts =
+  History.record h ~proc ~kind:History.Write ~inv:(t inv) ~resp:(t resp)
+    ~ts (int_value v)
+
+let mr h proc inv resp v ts =
+  History.record h ~proc ~kind:History.Read ~inv:(t inv) ~resp:(t resp) ~ts
+    (int_value v)
+
+let test_mw_clean () =
+  let h = History.create () in
+  mw h "p0" 0 10 1 (genesis, 1, 0);
+  mw h "p1" 20 30 2 (genesis, 2, 1);
+  mr h "p2" 40 50 2 (genesis, 2, 1);
+  check_true "clean"
+    (Atomicity.Mw.is_clean (Atomicity.Mw.check ~tie:`Min_index h))
+
+let test_mw_write_order_violation () =
+  let h = History.create () in
+  mw h "p0" 0 10 1 (genesis, 5, 0);
+  mw h "p1" 20 30 2 (genesis, 2, 1) (* later write, smaller timestamp *);
+  let report = Atomicity.Mw.check ~tie:`Min_index h in
+  check_true "write-order violation"
+    (List.exists
+       (fun (v : Atomicity.Mw.violation) -> v.kind = "write-order")
+       report.Atomicity.Mw.violations)
+
+let test_mw_stale_read_violation () =
+  let h = History.create () in
+  mw h "p0" 0 10 1 (genesis, 1, 0);
+  mw h "p1" 20 30 2 (genesis, 2, 1);
+  mr h "p2" 40 50 1 (genesis, 1, 0) (* older than a completed write *);
+  let report = Atomicity.Mw.check ~tie:`Min_index h in
+  check_true "stale read flagged"
+    (List.exists
+       (fun (v : Atomicity.Mw.violation) -> v.kind = "stale-read")
+       report.Atomicity.Mw.violations)
+
+let test_mw_read_inversion () =
+  let h = History.create () in
+  mw h "p0" 0 100 1 (genesis, 1, 0);
+  mw h "p1" 0 100 2 (genesis, 2, 1);
+  mr h "p2" 10 20 2 (genesis, 2, 1);
+  mr h "p3" 30 40 1 (genesis, 1, 0);
+  let report = Atomicity.Mw.check ~tie:`Min_index h in
+  check_true "read inversion flagged"
+    (List.exists
+       (fun (v : Atomicity.Mw.violation) -> v.kind = "read-inversion")
+       report.Atomicity.Mw.violations)
+
+let test_mw_epoch_order_respected () =
+  let h = History.create () in
+  mw h "p0" 0 10 1 (genesis, 99, 0);
+  mw h "p1" 20 30 2 (next, 0, 1) (* newer epoch beats any seq *);
+  mr h "p2" 40 50 2 (next, 0, 1);
+  check_true "epoch dominates seq"
+    (Atomicity.Mw.is_clean (Atomicity.Mw.check ~tie:`Min_index h))
+
+let test_mw_incomparable_epochs_flagged () =
+  let x = { Registers.Epoch.s = 1; a = [ 2; 7; 8 ] } in
+  let y = { Registers.Epoch.s = 2; a = [ 1; 9; 10 ] } in
+  let h = History.create () in
+  mw h "p0" 0 10 1 (x, 1, 0);
+  mw h "p1" 20 30 2 (y, 1, 1);
+  let report = Atomicity.Mw.check ~tie:`Min_index h in
+  check_true "incomparability reported"
+    (List.exists
+       (fun (v : Atomicity.Mw.violation) -> v.kind = "incomparable-epochs")
+       report.Atomicity.Mw.violations)
+
+let test_mw_tie_break_direction () =
+  (* Same (epoch, seq) from p0 and p5; a later read of p0's value is an
+     inversion under Max_index (p5's write is newer) but fine under
+     Min_index (p0's is newer). *)
+  let h = History.create () in
+  mw h "p0" 0 100 1 (genesis, 1, 0);
+  mw h "p5" 0 100 2 (genesis, 1, 5);
+  mr h "r1" 10 20 2 (genesis, 1, 5);
+  mr h "r2" 30 40 1 (genesis, 1, 0);
+  let max_report = Atomicity.Mw.check ~tie:`Max_index h in
+  check_true "inversion under Max_index"
+    (not (Atomicity.Mw.is_clean max_report));
+  (* Under Min_index the r1 -> r2 pair goes from (1,5) DOWN to (1,0)?  No:
+     under Min_index, (1,0) is the NEWER stamp, so reading it second is
+     monotone. *)
+  let min_report = Atomicity.Mw.check ~tie:`Min_index h in
+  check_true "monotone under Min_index"
+    (not
+       (List.exists
+          (fun (v : Atomicity.Mw.violation) -> v.kind = "read-inversion")
+          min_report.Atomicity.Mw.violations))
+
+let tests =
+  [
+    case "clean history" test_clean_history;
+    case "inversion detected" test_inversion_detected;
+    case "concurrent reads may differ" test_concurrent_reads_may_differ;
+    case "overlapping writes malformed" test_malformed_overlapping_writes;
+    case "duplicate values malformed" test_malformed_duplicate_values;
+    case "cutoff applies" test_cutoff_applies;
+    case "mw clean" test_mw_clean;
+    case "mw write-order violation" test_mw_write_order_violation;
+    case "mw stale read" test_mw_stale_read_violation;
+    case "mw read inversion" test_mw_read_inversion;
+    case "mw epoch dominates seq" test_mw_epoch_order_respected;
+    case "mw incomparable epochs" test_mw_incomparable_epochs_flagged;
+    case "mw tie-break direction" test_mw_tie_break_direction;
+  ]

@@ -1,0 +1,131 @@
+open Util
+
+let mk_channel ?(cap = 5) ?(loss = 0.0) ?(dup = 0.0) ?(seed = 3) () =
+  Datalink.Channel.create ~rng:(Sim.Rng.create seed) ~cap ~loss ~dup ()
+
+let test_channel_reliable_mode () =
+  let ch = mk_channel () in
+  Datalink.Channel.send ch "a";
+  Datalink.Channel.send ch "b";
+  check_int "two in transit" 2 (Datalink.Channel.size ch);
+  let d1 = Datalink.Channel.deliver ch in
+  let d2 = Datalink.Channel.deliver ch in
+  check_true "both delivered"
+    (List.sort compare [ d1; d2 ] = [ Some "a"; Some "b" ]);
+  check_true "then empty" (Datalink.Channel.deliver ch = None)
+
+let test_channel_capacity_bound () =
+  let ch = mk_channel ~cap:3 () in
+  for i = 1 to 10 do
+    Datalink.Channel.send ch i
+  done;
+  check_int "bounded by capacity" 3 (Datalink.Channel.size ch)
+
+let test_channel_preload_truncates () =
+  let ch = mk_channel ~cap:2 () in
+  Datalink.Channel.preload ch [ 1; 2; 3; 4 ];
+  check_int "truncated" 2 (Datalink.Channel.size ch);
+  check_true "kept prefix" (Datalink.Channel.contents ch = [ 1; 2 ])
+
+let test_channel_loss () =
+  let ch = mk_channel ~cap:1000 ~loss:0.5 ~seed:5 () in
+  for i = 1 to 200 do
+    Datalink.Channel.send ch i
+  done;
+  let survived = Datalink.Channel.size ch in
+  check_true "roughly half lost" (survived > 60 && survived < 140)
+
+let test_channel_duplication () =
+  let ch = mk_channel ~cap:10 ~dup:0.99 ~seed:5 () in
+  Datalink.Channel.send ch "x";
+  (* With dup ~ 1, delivering leaves the packet behind. *)
+  check_true "delivered" (Datalink.Channel.deliver ch = Some "x");
+  check_int "copy remains" 1 (Datalink.Channel.size ch)
+
+let test_channel_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Channel.create: capacity must be positive") (fun () ->
+      ignore (mk_channel ~cap:0 ()))
+
+(* --- the alternating-bit data link (footnote 3) --- *)
+
+let test_altbit_clean_delivery () =
+  let s = Datalink.Alt_bit.create ~rng:(Sim.Rng.create 7) ~cap:4 ~loss:0.1 ~dup:0.1 () in
+  List.iter
+    (fun m ->
+      match Datalink.Alt_bit.send s m with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ "alpha"; "beta"; "gamma" ];
+  let delivered = Datalink.Alt_bit.delivered s in
+  (* Each message delivered at least once, in order of first delivery. *)
+  let firsts =
+    List.fold_left
+      (fun acc m -> if List.mem m acc then acc else acc @ [ m ])
+      [] delivered
+  in
+  check_true "all delivered in order" (firsts = [ "alpha"; "beta"; "gamma" ])
+
+let test_altbit_delivery_under_heavy_loss () =
+  let s = Datalink.Alt_bit.create ~rng:(Sim.Rng.create 8) ~cap:3 ~loss:0.6 ~dup:0.2 () in
+  (match Datalink.Alt_bit.send s 42 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_true "message got through" (List.mem 42 (Datalink.Alt_bit.delivered s));
+  check_true "cost was counted" (Datalink.Alt_bit.packets_sent s > 0)
+
+let test_altbit_stabilizes_after_scramble () =
+  (* Arbitrary initial channel contents and receiver state: after the
+     scramble, sent messages still get through, in order, and the garbage
+     the adversary planted can surface at most a bounded number of times. *)
+  let s = Datalink.Alt_bit.create ~rng:(Sim.Rng.create 9) ~cap:4 ~loss:0.1 ~dup:0.1 () in
+  Datalink.Alt_bit.scramble s ~garbage:[ "junk1"; "junk2"; "junk3" ];
+  let sent = [ "one"; "two"; "three"; "four" ] in
+  List.iter
+    (fun m ->
+      match Datalink.Alt_bit.send s m with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    sent;
+  let delivered = Datalink.Alt_bit.delivered s in
+  let real = List.filter (fun m -> List.mem m sent) delivered in
+  let junk = List.filter (fun m -> not (List.mem m sent)) delivered in
+  let firsts =
+    List.fold_left
+      (fun acc m -> if List.mem m acc then acc else acc @ [ m ])
+      [] real
+  in
+  check_true "sent messages delivered in order" (firsts = sent);
+  check_true "garbage bounded by initial channel contents"
+    (List.length junk <= 4)
+
+let test_altbit_take_delivered_clears () =
+  let s = Datalink.Alt_bit.create ~rng:(Sim.Rng.create 10) ~cap:3 ~loss:0.0 ~dup:0.0 () in
+  (match Datalink.Alt_bit.send s "m" with Ok () -> () | Error e -> Alcotest.fail e);
+  let first = Datalink.Alt_bit.take_delivered s in
+  check_true "delivered once" (List.mem "m" first);
+  check_true "cleared" (Datalink.Alt_bit.take_delivered s = [])
+
+let test_altbit_deterministic () =
+  let run seed =
+    let s = Datalink.Alt_bit.create ~rng:(Sim.Rng.create seed) ~cap:4 ~loss:0.3 ~dup:0.2 () in
+    ignore (Datalink.Alt_bit.send s "x");
+    (Datalink.Alt_bit.steps s, Datalink.Alt_bit.packets_sent s)
+  in
+  check_true "same seed, same run" (run 11 = run 11);
+  ignore (run 12)
+
+let tests =
+  [
+    case "channel reliable mode" test_channel_reliable_mode;
+    case "channel capacity bound" test_channel_capacity_bound;
+    case "channel preload truncates" test_channel_preload_truncates;
+    case "channel loss" test_channel_loss;
+    case "channel duplication" test_channel_duplication;
+    case "channel validation" test_channel_validation;
+    case "alt-bit clean delivery" test_altbit_clean_delivery;
+    case "alt-bit heavy loss" test_altbit_delivery_under_heavy_loss;
+    case "alt-bit stabilizes after scramble" test_altbit_stabilizes_after_scramble;
+    case "alt-bit take_delivered" test_altbit_take_delivered_clears;
+    case "alt-bit deterministic" test_altbit_deterministic;
+  ]

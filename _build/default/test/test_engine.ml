@@ -1,0 +1,99 @@
+open Util
+
+let mk () = Sim.Engine.create ~rng:(Sim.Rng.create 1) ()
+
+let test_time_advances () =
+  let e = mk () in
+  let fired = ref [] in
+  Sim.Engine.schedule e ~delay:10 (fun () ->
+      fired := Sim.Vtime.to_int (Sim.Engine.now e) :: !fired);
+  Sim.Engine.schedule e ~delay:5 (fun () ->
+      fired := Sim.Vtime.to_int (Sim.Engine.now e) :: !fired);
+  Sim.Engine.run e;
+  check_true "fired in time order" (List.rev !fired = [ 5; 10 ]);
+  check_int "clock at last event" 10 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_same_time_fifo () =
+  let e = mk () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.schedule e ~delay:3 (fun () -> order := i :: !order)
+  done;
+  Sim.Engine.run e;
+  check_true "scheduling order preserved" (List.rev !order = [ 1; 2; 3; 4; 5 ])
+
+let test_nested_scheduling () =
+  let e = mk () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~delay:1 (fun () ->
+      log := "outer" :: !log;
+      Sim.Engine.schedule e ~delay:2 (fun () -> log := "inner" :: !log));
+  Sim.Engine.run e;
+  check_true "nested fires" (List.rev !log = [ "outer"; "inner" ]);
+  check_int "clock" 3 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_until () =
+  let e = mk () in
+  let fired = ref 0 in
+  Sim.Engine.schedule e ~delay:5 (fun () -> incr fired);
+  Sim.Engine.schedule e ~delay:15 (fun () -> incr fired);
+  Sim.Engine.run ~until:(Sim.Vtime.of_int 10) e;
+  check_int "only first fired" 1 !fired;
+  check_int "clock parked at until" 10 (Sim.Vtime.to_int (Sim.Engine.now e));
+  Sim.Engine.run e;
+  check_int "remainder fires" 2 !fired
+
+let test_until_inclusive () =
+  let e = mk () in
+  let fired = ref false in
+  Sim.Engine.schedule e ~delay:10 (fun () -> fired := true);
+  Sim.Engine.run ~until:(Sim.Vtime.of_int 10) e;
+  check_true "event at the deadline fires" !fired
+
+let test_max_events () =
+  let e = mk () in
+  let fired = ref 0 in
+  for _ = 1 to 10 do
+    Sim.Engine.schedule e ~delay:1 (fun () -> incr fired)
+  done;
+  Sim.Engine.run ~max_events:4 e;
+  check_int "bounded" 4 !fired
+
+let test_past_schedule_clamped () =
+  let e = mk () in
+  let at = ref (-1) in
+  Sim.Engine.schedule e ~delay:5 (fun () ->
+      Sim.Engine.schedule_at e Sim.Vtime.zero (fun () ->
+          at := Sim.Vtime.to_int (Sim.Engine.now e)));
+  Sim.Engine.run e;
+  check_int "past event fires now" 5 !at
+
+let test_negative_delay_clamped () =
+  let e = mk () in
+  let fired = ref false in
+  Sim.Engine.schedule e ~delay:(-3) (fun () -> fired := true);
+  Sim.Engine.run e;
+  check_true "fires at current time" !fired;
+  check_int "no time travel" 0 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_quiescent () =
+  let e = mk () in
+  check_true "initially quiescent" (Sim.Engine.quiescent e);
+  Sim.Engine.schedule e ~delay:1 ignore;
+  check_false "pending event" (Sim.Engine.quiescent e);
+  check_int "pending count" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  check_true "quiescent after run" (Sim.Engine.quiescent e)
+
+let tests =
+  [
+    case "time advances" test_time_advances;
+    case "same-time FIFO" test_same_time_fifo;
+    case "nested scheduling" test_nested_scheduling;
+    case "run until" test_until;
+    case "until inclusive" test_until_inclusive;
+    case "max events" test_max_events;
+    case "past schedule clamped" test_past_schedule_clamped;
+    case "negative delay clamped" test_negative_delay_clamped;
+    case "quiescence" test_quiescent;
+  ]

@@ -1,0 +1,147 @@
+open Util
+open Registers
+
+let k = 4
+
+let test_capacity () = check_int "K = k^2+1" 17 (Epoch.capacity ~k)
+
+let test_genesis_wellformed () =
+  check_true "genesis ok" (Epoch.is_wellformed ~k (Epoch.genesis ~k))
+
+let test_wellformed_rejects () =
+  let cap = Epoch.capacity ~k in
+  check_false "s out of range"
+    (Epoch.is_wellformed ~k { Epoch.s = cap + 1; a = [ 1; 2; 3; 4 ] });
+  check_false "wrong size" (Epoch.is_wellformed ~k { Epoch.s = 1; a = [ 2; 3 ] });
+  check_false "duplicates"
+    (Epoch.is_wellformed ~k { Epoch.s = 1; a = [ 2; 2; 3; 4 ] });
+  check_false "unsorted"
+    (Epoch.is_wellformed ~k { Epoch.s = 1; a = [ 4; 3; 2; 5 ] })
+
+let test_gt_definition () =
+  let e1 = { Epoch.s = 1; a = [ 2; 3; 4; 5 ] } in
+  let e2 = { Epoch.s = 2; a = [ 6; 7; 8; 9 ] } in
+  (* e2 > e1: 1 ∈ {6..9}? no... construct per definition. *)
+  let hi = { Epoch.s = 6; a = [ 1; 2; 3; 4 ] } in
+  check_true "hi > e1" (Epoch.gt hi e1);
+  check_false "e1 > hi" (Epoch.gt e1 hi);
+  (* Incomparable pair: each contains the other's s. *)
+  let x = { Epoch.s = 1; a = [ 2; 10; 11; 12 ] } in
+  let y = { Epoch.s = 2; a = [ 1; 13; 14; 15 ] } in
+  check_false "x > y" (Epoch.gt x y);
+  check_false "y > x" (Epoch.gt y x);
+  ignore e2
+
+let test_ge_is_gt_or_equal () =
+  let e = Epoch.genesis ~k in
+  check_true "ge refl" (Epoch.ge e e);
+  check_false "gt irrefl" (Epoch.gt e e)
+
+let test_next_epoch_dominates () =
+  let e1 = Epoch.genesis ~k in
+  let e2 = { Epoch.s = 9; a = [ 1; 2; 3; 4 ] } in
+  let e3 = { Epoch.s = 10; a = [ 5; 6; 7; 9 ] } in
+  let ne = Epoch.next_epoch ~k [ e1; e2; e3 ] in
+  check_true "wellformed" (Epoch.is_wellformed ~k ne);
+  List.iter
+    (fun e -> check_true "next > each" (Epoch.gt ne e))
+    [ e1; e2; e3 ]
+
+let test_next_epoch_too_many () =
+  let es = List.init (k + 1) (fun _ -> Epoch.genesis ~k) in
+  Alcotest.check_raises "over k rejected"
+    (Invalid_argument "Epoch.next_epoch: more than k epochs") (fun () ->
+      ignore (Epoch.next_epoch ~k es))
+
+let test_next_epoch_tolerates_garbage () =
+  (* Corrupted epochs with out-of-range members must not break dominance
+     over the well-formed ones. *)
+  let good = Epoch.genesis ~k in
+  let junk = { Epoch.s = -5; a = [ 999; -1; 3; 7 ] } in
+  let ne = Epoch.next_epoch ~k [ good; junk ] in
+  check_true "wellformed result" (Epoch.is_wellformed ~k ne);
+  check_true "dominates good" (Epoch.gt ne good)
+
+let test_max_epoch () =
+  let e1 = Epoch.genesis ~k in
+  let ne = Epoch.next_epoch ~k [ e1 ] in
+  check_true "max of chain" (Epoch.max_epoch [ e1; ne ] = Some ne);
+  check_true "max singleton" (Epoch.max_epoch [ e1 ] = Some e1);
+  check_true "max empty" (Epoch.max_epoch [] = None);
+  (* No maximum among incomparable epochs. *)
+  let x = { Epoch.s = 1; a = [ 2; 10; 11; 12 ] } in
+  let y = { Epoch.s = 2; a = [ 1; 13; 14; 15 ] } in
+  check_true "incomparable set has no max" (Epoch.max_epoch [ x; y ] = None)
+
+let test_arbitrary_wellformed () =
+  let rng = Sim.Rng.create 11 in
+  for _ = 1 to 100 do
+    check_true "arbitrary wellformed"
+      (Epoch.is_wellformed ~k (Epoch.arbitrary rng ~k))
+  done
+
+let test_epoch_chain_grows () =
+  (* Repeatedly taking next_epoch over a sliding window of recent epochs
+     always yields something greater than the window: the liveness [1]
+     proves. *)
+  let rec go window steps =
+    if steps > 0 then begin
+      let ne = Epoch.next_epoch ~k window in
+      List.iter (fun e -> check_true "dominates window" (Epoch.gt ne e)) window;
+      let window' =
+        match window with
+        | _ :: rest when List.length window >= k -> rest @ [ ne ]
+        | w -> w @ [ ne ]
+      in
+      go window' (steps - 1)
+    end
+  in
+  go [ Epoch.genesis ~k ] 200
+
+let gen_epoch =
+  QCheck.Gen.(
+    let cap = Epoch.capacity ~k in
+    let* s = int_range 1 cap in
+    let rec draw acc =
+      if List.length acc >= k then return (List.sort_uniq Int.compare acc)
+      else
+        let* x = int_range 1 cap in
+        if List.mem x acc then draw acc else draw (x :: acc)
+    in
+    let* a = draw [] in
+    return { Epoch.s; a })
+
+let prop_gt_antisymmetric =
+  QCheck.Test.make ~name:"gt antisymmetric" ~count:500
+    (QCheck.make gen_epoch ~print:(Format.asprintf "%a" Epoch.pp))
+    (fun e ->
+      let rng = Sim.Rng.create (Hashtbl.hash e) in
+      let e' = Epoch.arbitrary rng ~k in
+      not (Epoch.gt e e' && Epoch.gt e' e))
+
+let prop_next_dominates =
+  QCheck.Test.make ~name:"next_epoch dominates arbitrary sets" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let count = 1 + Sim.Rng.int rng k in
+      let es = List.init count (fun _ -> Epoch.arbitrary rng ~k) in
+      let ne = Epoch.next_epoch ~k es in
+      Epoch.is_wellformed ~k ne && List.for_all (fun e -> Epoch.gt ne e) es)
+
+let tests =
+  [
+    case "capacity" test_capacity;
+    case "genesis wellformed" test_genesis_wellformed;
+    case "wellformed rejects" test_wellformed_rejects;
+    case "gt definition" test_gt_definition;
+    case "ge" test_ge_is_gt_or_equal;
+    case "next_epoch dominates" test_next_epoch_dominates;
+    case "next_epoch arity" test_next_epoch_too_many;
+    case "next_epoch garbage-tolerant" test_next_epoch_tolerates_garbage;
+    case "max_epoch" test_max_epoch;
+    case "arbitrary wellformed" test_arbitrary_wellformed;
+    case "epoch chain grows" test_epoch_chain_grows;
+    qcheck prop_gt_antisymmetric;
+    qcheck prop_next_dominates;
+  ]

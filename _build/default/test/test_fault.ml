@@ -1,0 +1,62 @@
+open Util
+
+let test_register_and_names () =
+  let f = Sim.Fault.create () in
+  Sim.Fault.register f ~name:"server.0" ignore;
+  Sim.Fault.register f ~name:"server.1" ignore;
+  Sim.Fault.register f ~name:"client.w" ignore;
+  check_true "names in order"
+    (Sim.Fault.names f = [ "server.0"; "server.1"; "client.w" ])
+
+let test_inject_matching () =
+  let f = Sim.Fault.create () in
+  let hits = ref [] in
+  List.iter
+    (fun name -> Sim.Fault.register f ~name (fun _ -> hits := name :: !hits))
+    [ "server.0"; "server.1"; "client.w" ];
+  let rng = Sim.Rng.create 1 in
+  let n = Sim.Fault.inject_matching f ~rng ~prefix:"server." in
+  check_int "two hit" 2 n;
+  check_true "right targets"
+    (List.sort String.compare !hits = [ "server.0"; "server.1" ])
+
+let test_inject_all () =
+  let f = Sim.Fault.create () in
+  let count = ref 0 in
+  for i = 0 to 4 do
+    Sim.Fault.register f
+      ~name:(Printf.sprintf "t%d" i)
+      (fun _ -> incr count)
+  done;
+  let rng = Sim.Rng.create 1 in
+  check_int "all five" 5 (Sim.Fault.inject_all f ~rng);
+  check_int "all ran" 5 !count
+
+let test_rng_passed_through () =
+  let f = Sim.Fault.create () in
+  let seen = ref (-1) in
+  Sim.Fault.register f ~name:"x" (fun rng -> seen := Sim.Rng.int rng 100);
+  ignore (Sim.Fault.inject_all f ~rng:(Sim.Rng.create 5));
+  check_true "corruption drew randomness" (!seen >= 0)
+
+let test_scheduled_injection () =
+  let rng = Sim.Rng.create 1 in
+  let e = Sim.Engine.create ~rng () in
+  let f = Sim.Fault.create () in
+  let corrupted_at = ref (-1) in
+  Sim.Fault.register f ~name:"cell" (fun _ ->
+      corrupted_at := Sim.Vtime.to_int (Sim.Engine.now e));
+  Sim.Fault.schedule f ~engine:e ~at:(Sim.Vtime.of_int 25) ~prefix:"";
+  Sim.Engine.run e;
+  check_int "fired at the right instant" 25 !corrupted_at;
+  check_int "counter recorded" 1
+    (Sim.Trace.counter (Sim.Engine.trace e) "fault.injections")
+
+let tests =
+  [
+    case "register/names" test_register_and_names;
+    case "inject matching" test_inject_matching;
+    case "inject all" test_inject_all;
+    case "rng passthrough" test_rng_passed_through;
+    case "scheduled injection" test_scheduled_injection;
+  ]

@@ -1,0 +1,103 @@
+open Util
+
+let test_spawn_runs_immediately () =
+  let ran = ref false in
+  let h = Sim.Fiber.spawn (fun () -> ran := true) in
+  check_true "body ran" !ran;
+  check_true "done" (Sim.Fiber.status h = Sim.Fiber.Done)
+
+let test_suspend_resume () =
+  let resume_cell = ref None in
+  let got = ref 0 in
+  let h =
+    Sim.Fiber.spawn (fun () ->
+        got := Sim.Fiber.suspend (fun resume -> resume_cell := Some resume))
+  in
+  check_true "suspended" (Sim.Fiber.status h = Sim.Fiber.Running);
+  (match !resume_cell with
+  | Some resume -> resume 42
+  | None -> Alcotest.fail "no resumption registered");
+  check_int "value passed through" 42 !got;
+  check_true "done after resume" (Sim.Fiber.status h = Sim.Fiber.Done)
+
+let test_multiple_suspensions () =
+  let resumes = Queue.create () in
+  let log = ref [] in
+  let _h =
+    Sim.Fiber.spawn (fun () ->
+        for _ = 1 to 3 do
+          let v =
+            Sim.Fiber.suspend (fun resume -> Queue.push resume resumes)
+          in
+          log := v :: !log
+        done)
+  in
+  let rec pump i =
+    if not (Queue.is_empty resumes) then begin
+      (Queue.pop resumes) i;
+      pump (i + 1)
+    end
+  in
+  pump 1;
+  check_true "all three resumed in order" (List.rev !log = [ 1; 2; 3 ])
+
+exception Boom
+
+let test_exception_propagates () =
+  let resume_cell = ref None in
+  let h =
+    Sim.Fiber.spawn (fun () ->
+        let () = Sim.Fiber.suspend (fun r -> resume_cell := Some r) in
+        raise Boom)
+  in
+  (match !resume_cell with
+  | Some resume -> (
+    try
+      resume ();
+      Alcotest.fail "expected Boom to propagate"
+    with Boom -> ())
+  | None -> Alcotest.fail "no resumption");
+  check_true "failed status" (Sim.Fiber.status h = Sim.Fiber.Failed Boom)
+
+let test_immediate_exception () =
+  try
+    ignore (Sim.Fiber.spawn (fun () -> raise Boom));
+    Alcotest.fail "expected Boom"
+  with Boom -> ()
+
+let test_name () =
+  let h = Sim.Fiber.spawn ~name:"bob" (fun () -> ()) in
+  Alcotest.(check string) "name" "bob" (Sim.Fiber.name h)
+
+let test_two_fibers_interleave () =
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  let sleep d =
+    Sim.Fiber.suspend (fun resume -> Sim.Engine.schedule e ~delay:d resume)
+  in
+  let log = ref [] in
+  let _a =
+    Sim.Fiber.spawn (fun () ->
+        sleep 1;
+        log := "a1" :: !log;
+        sleep 10;
+        log := "a2" :: !log)
+  in
+  let _b =
+    Sim.Fiber.spawn (fun () ->
+        sleep 5;
+        log := "b1" :: !log)
+  in
+  Sim.Engine.run e;
+  check_true "interleaved by virtual time"
+    (List.rev !log = [ "a1"; "b1"; "a2" ])
+
+let tests =
+  [
+    case "spawn runs immediately" test_spawn_runs_immediately;
+    case "suspend/resume" test_suspend_resume;
+    case "multiple suspensions" test_multiple_suspensions;
+    case "exception propagates" test_exception_propagates;
+    case "immediate exception" test_immediate_exception;
+    case "name" test_name;
+    case "two fibers interleave" test_two_fibers_interleave;
+  ]

@@ -1,0 +1,74 @@
+open Util
+
+let mk () = Sim.Heap.create ~cmp:Int.compare
+
+let test_empty () =
+  let h = mk () in
+  check_true "empty" (Sim.Heap.is_empty h);
+  check_int "length 0" 0 (Sim.Heap.length h);
+  check_true "peek none" (Sim.Heap.peek h = None);
+  check_true "pop none" (Sim.Heap.pop h = None)
+
+let test_ordering () =
+  let h = mk () in
+  List.iter (Sim.Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check_true "sorted drain" (drain [] = [ 1; 1; 2; 3; 4; 5; 9 ])
+
+let test_peek_does_not_remove () =
+  let h = mk () in
+  Sim.Heap.push h 2;
+  Sim.Heap.push h 1;
+  check_true "peek min" (Sim.Heap.peek h = Some 1);
+  check_int "still 2 elements" 2 (Sim.Heap.length h)
+
+let test_interleaved () =
+  let h = mk () in
+  Sim.Heap.push h 10;
+  Sim.Heap.push h 5;
+  check_true "pop 5" (Sim.Heap.pop h = Some 5);
+  Sim.Heap.push h 1;
+  Sim.Heap.push h 20;
+  check_true "pop 1" (Sim.Heap.pop h = Some 1);
+  check_true "pop 10" (Sim.Heap.pop h = Some 10);
+  check_true "pop 20" (Sim.Heap.pop h = Some 20);
+  check_true "empty again" (Sim.Heap.is_empty h)
+
+let test_clear () =
+  let h = mk () in
+  List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
+  Sim.Heap.clear h;
+  check_true "cleared" (Sim.Heap.is_empty h)
+
+let test_iter_unordered () =
+  let h = mk () in
+  List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
+  let sum = ref 0 in
+  Sim.Heap.iter_unordered h (fun x -> sum := !sum + x);
+  check_int "visits all" 6 !sum
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"heap drain is sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = mk () in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let tests =
+  [
+    case "empty heap" test_empty;
+    case "ordering" test_ordering;
+    case "peek non-destructive" test_peek_does_not_remove;
+    case "interleaved" test_interleaved;
+    case "clear" test_clear;
+    case "iter_unordered" test_iter_unordered;
+    qcheck prop_heap_sort;
+  ]

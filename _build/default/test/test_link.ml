@@ -1,0 +1,107 @@
+open Util
+
+let mk ?(lo = 1) ?(hi = 10) () =
+  let rng = Sim.Rng.create 3 in
+  let e = Sim.Engine.create ~rng () in
+  let received = ref [] in
+  let link =
+    Sim.Link.create ~engine:e
+      ~delay:(Sim.Link.uniform (Sim.Rng.split rng) ~lo ~hi)
+      ~name:"test" ~deliver:(fun m -> received := m :: !received)
+  in
+  (e, link, received)
+
+let test_delivery () =
+  let e, link, received = mk () in
+  Sim.Link.send link "hello";
+  Sim.Engine.run e;
+  check_true "delivered" (!received = [ "hello" ]);
+  let t = Sim.Vtime.to_int (Sim.Engine.now e) in
+  check_true "delay in range" (t >= 1 && t <= 10)
+
+let test_fifo_order () =
+  let e, link, received = mk () in
+  for i = 1 to 50 do
+    Sim.Link.send link (string_of_int i)
+  done;
+  Sim.Engine.run e;
+  check_true "FIFO preserved despite random delays"
+    (List.rev !received = List.init 50 (fun i -> string_of_int (i + 1)))
+
+let test_fifo_across_time () =
+  let e, link, received = mk ~lo:1 ~hi:20 () in
+  Sim.Link.send link "a";
+  Sim.Engine.schedule e ~delay:2 (fun () -> Sim.Link.send link "b");
+  Sim.Engine.schedule e ~delay:4 (fun () -> Sim.Link.send link "c");
+  Sim.Engine.run e;
+  check_true "order kept" (List.rev !received = [ "a"; "b"; "c" ])
+
+let test_send_timed_reports_arrival () =
+  let e, link, received = mk () in
+  let at = Sim.Link.send_timed link "x" in
+  Sim.Engine.run e;
+  ignore !received;
+  check_int "engine stops at arrival" (Sim.Vtime.to_int at)
+    (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_in_flight_and_corruption () =
+  let e, link, received = mk () in
+  Sim.Link.send link "keep";
+  Sim.Link.send link "rewrite";
+  Sim.Link.send link "drop";
+  check_int "three in flight" 3 (List.length (Sim.Link.in_flight link));
+  Sim.Link.corrupt_in_flight link (function
+    | "rewrite" -> Some "rewritten"
+    | "drop" -> None
+    | m -> Some m);
+  Sim.Engine.run e;
+  check_true "corruption applied"
+    (List.rev !received = [ "keep"; "rewritten" ])
+
+let test_inject () =
+  let e, link, received = mk () in
+  Sim.Link.inject link "spurious";
+  Sim.Engine.run e;
+  check_true "injected message arrives" (!received = [ "spurious" ])
+
+let test_message_counter () =
+  let e, link, _received = mk () in
+  for _ = 1 to 5 do
+    Sim.Link.send link "m"
+  done;
+  Sim.Engine.run e;
+  check_int "net.msgs counts deliveries" 5
+    (Sim.Trace.counter (Sim.Engine.trace e) "net.msgs")
+
+let test_fixed_delay () =
+  let rng = Sim.Rng.create 3 in
+  let e = Sim.Engine.create ~rng () in
+  let link =
+    Sim.Link.create ~engine:e ~delay:(Sim.Link.fixed 7) ~name:"fixed"
+      ~deliver:ignore
+  in
+  Sim.Link.send link ();
+  Sim.Engine.run e;
+  check_int "fixed delay" 7 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_bad_samplers_rejected () =
+  let rng = Sim.Rng.create 3 in
+  Alcotest.check_raises "negative fixed"
+    (Invalid_argument "Link.fixed: negative delay") (fun () ->
+      ignore (Sim.Link.fixed (-1) : Sim.Link.sampler));
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Link.uniform: bad delay range") (fun () ->
+      ignore (Sim.Link.uniform rng ~lo:5 ~hi:2 : Sim.Link.sampler))
+
+let tests =
+  [
+    case "delivery" test_delivery;
+    case "FIFO order" test_fifo_order;
+    case "FIFO across time" test_fifo_across_time;
+    case "send_timed arrival" test_send_timed_reports_arrival;
+    case "in-flight corruption" test_in_flight_and_corruption;
+    case "inject" test_inject;
+    case "message counter" test_message_counter;
+    case "fixed delay" test_fixed_delay;
+    case "bad samplers rejected" test_bad_samplers_rejected;
+  ]

@@ -1,0 +1,300 @@
+open Util
+open Registers
+
+(* --- the raw unreliable medium --- *)
+
+let mk_lossy ?(loss = 0.0) ?(dup = 0.0) ?(seed = 3) () =
+  let rng = Sim.Rng.create seed in
+  let engine = Sim.Engine.create ~rng () in
+  let received = ref [] in
+  let link =
+    Sim.Lossy_link.create ~engine ~rng:(Sim.Rng.split rng)
+      ~delay:(Sim.Link.uniform (Sim.Rng.split rng) ~lo:1 ~hi:10)
+      ~loss ~dup ~name:"test"
+      ~deliver:(fun m -> received := m :: !received)
+      ()
+  in
+  (engine, link, received)
+
+let test_lossy_reliable_mode () =
+  let engine, link, received = mk_lossy () in
+  for i = 1 to 20 do
+    Sim.Lossy_link.send link i
+  done;
+  Sim.Engine.run engine;
+  check_int "all delivered with loss 0" 20 (List.length !received)
+
+let test_lossy_reorders () =
+  let engine, link, received = mk_lossy ~seed:5 () in
+  for i = 1 to 50 do
+    Sim.Lossy_link.send link i
+  done;
+  Sim.Engine.run engine;
+  check_true "not FIFO" (List.rev !received <> List.init 50 (fun i -> i + 1));
+  check_true "same multiset"
+    (List.sort Int.compare !received = List.init 50 (fun i -> i + 1))
+
+let test_lossy_loses () =
+  let engine, link, received = mk_lossy ~loss:0.5 ~seed:5 () in
+  for i = 1 to 200 do
+    Sim.Lossy_link.send link i
+  done;
+  Sim.Engine.run engine;
+  let got = List.length !received in
+  check_true "roughly half lost" (got > 60 && got < 140)
+
+let test_lossy_duplicates () =
+  let engine, link, received = mk_lossy ~dup:0.5 ~seed:5 () in
+  for i = 1 to 100 do
+    Sim.Lossy_link.send link i
+  done;
+  Sim.Engine.run engine;
+  check_true "more deliveries than sends" (List.length !received > 110)
+
+let test_lossy_inject_never_lost () =
+  let engine, link, received = mk_lossy ~loss:0.9 ~seed:5 () in
+  for _ = 1 to 20 do
+    Sim.Lossy_link.inject link 7
+  done;
+  Sim.Engine.run engine;
+  check_true "injected packets always arrive" (List.length !received >= 20)
+
+let test_lossy_corrupt_in_flight () =
+  let engine, link, received = mk_lossy () in
+  Sim.Lossy_link.send link 1;
+  Sim.Lossy_link.send link 2;
+  Sim.Lossy_link.corrupt_in_flight link (function
+    | 1 -> Some 99
+    | _ -> None);
+  Sim.Engine.run engine;
+  check_true "rewritten and dropped" (!received = [ 99 ])
+
+(* --- the self-stabilizing transport --- *)
+
+let mk_transport ?(loss = 0.3) ?(dup = 0.2) ?(seed = 7) () =
+  let rng = Sim.Rng.create seed in
+  let engine = Sim.Engine.create ~rng () in
+  let received = ref [] in
+  let tr =
+    Ss_transport.create ~engine ~rng:(Sim.Rng.split rng)
+      ~delay:(Sim.Link.uniform (Sim.Rng.split rng) ~lo:1 ~hi:10)
+      ~loss ~dup ~retrans:25 ~name:"t"
+      ~deliver:(fun m -> received := m :: !received)
+      ()
+  in
+  (engine, tr, received)
+
+let test_transport_exactly_once_in_order () =
+  let engine, tr, received = mk_transport () in
+  for i = 1 to 50 do
+    Ss_transport.send tr i
+  done;
+  Sim.Engine.run engine;
+  check_true "exactly once, in order, despite 30% loss + 20% dup"
+    (List.rev !received = List.init 50 (fun i -> i + 1));
+  check_int "nothing pending" 0 (Ss_transport.pending tr)
+
+let test_transport_on_delivered_fires_after_delivery () =
+  let engine, tr, received = mk_transport () in
+  let confirmed = ref false in
+  let delivered_when_confirmed = ref (-1) in
+  Ss_transport.send tr
+    ~on_delivered:(fun () ->
+      confirmed := true;
+      delivered_when_confirmed := List.length !received)
+    42;
+  Sim.Engine.run engine;
+  check_true "confirmed" !confirmed;
+  check_true "confirmation after the delivery" (!delivered_when_confirmed >= 1)
+
+let test_transport_cost_grows_with_loss () =
+  let cost loss =
+    let engine, tr, _ = mk_transport ~loss ~dup:0.0 () in
+    for i = 1 to 30 do
+      Ss_transport.send tr i
+    done;
+    Sim.Engine.run engine;
+    Ss_transport.packets_sent tr
+  in
+  check_true "retransmissions kick in" (cost 0.5 > cost 0.0)
+
+let test_transport_recovers_from_corruption () =
+  let engine, tr, received = mk_transport ~seed:11 () in
+  for i = 1 to 10 do
+    Ss_transport.send tr i
+  done;
+  Sim.Engine.run engine;
+  (* Transient fault on both endpoints and the wire. *)
+  Ss_transport.corrupt tr (Sim.Rng.create 99);
+  let before = List.length !received in
+  for i = 11 to 30 do
+    Ss_transport.send tr i
+  done;
+  Sim.Engine.run engine;
+  let after = List.filter (fun m -> m > 10) !received in
+  (* Self-stabilization contract: bounded anomalies, then exactly-once in
+     order.  All post-corruption messages must eventually arrive... *)
+  check_true "all post-fault messages delivered"
+    (List.for_all (fun i -> List.mem i after) (List.init 20 (fun i -> i + 11)));
+  (* ...and the in-order suffix must dominate: drop leading debris and the
+     rest is the exact sequence. *)
+  let rec strip = function
+    | x :: rest when x <> 11 -> strip rest
+    | l -> l
+  in
+  let tail = strip (List.rev !received) in
+  let deduped = List.sort_uniq Int.compare tail in
+  check_true "post-fault stream re-synchronized"
+    (deduped = List.init 20 (fun i -> i + 11));
+  ignore before
+
+let test_transport_tag_wrap () =
+  (* A tiny tag space: the wrapping tag stays exactly-once FIFO through
+     many wraps. *)
+  let rng = Sim.Rng.create 14 in
+  let engine = Sim.Engine.create ~rng () in
+  let received = ref [] in
+  let tr =
+    Ss_transport.create ~engine ~rng:(Sim.Rng.split rng)
+      ~delay:(Sim.Link.uniform (Sim.Rng.split rng) ~lo:1 ~hi:5)
+      ~loss:0.2 ~dup:0.1 ~retrans:15 ~tag_space:8 ~name:"wrap"
+      ~deliver:(fun m -> received := m :: !received)
+      ()
+  in
+  for i = 1 to 100 do
+    Ss_transport.send tr i
+  done;
+  Sim.Engine.run engine;
+  check_true "100 messages through an 8-tag space"
+    (List.rev !received = List.init 100 (fun i -> i + 1))
+
+let test_transport_validation () =
+  let rng = Sim.Rng.create 1 in
+  let engine = Sim.Engine.create ~rng () in
+  Alcotest.check_raises "retrans must be positive"
+    (Invalid_argument "Ss_transport.create: retrans must be positive")
+    (fun () ->
+      ignore
+        (Ss_transport.create ~engine ~rng ~delay:(Sim.Link.fixed 1) ~retrans:0
+           ~name:"x" ~deliver:ignore ()
+          : int Ss_transport.t));
+  Alcotest.check_raises "tag space too small"
+    (Invalid_argument "Ss_transport.create: tag space too small")
+    (fun () ->
+      ignore
+        (Ss_transport.create ~engine ~rng ~delay:(Sim.Link.fixed 1)
+           ~tag_space:4 ~name:"x" ~deliver:ignore ()
+          : int Ss_transport.t))
+
+let test_corrupt_transport_noop_on_direct () =
+  let scn = async_scenario () in
+  let port = Net.add_client scn.Harness.Scenario.net ~id:77 in
+  (* Must be a silent no-op for Reliable_fifo ports. *)
+  Net.corrupt_transport port (Sim.Rng.create 1)
+
+(* --- registers end-to-end over the Stabilizing medium --- *)
+
+let lossy_medium =
+  Registers.Net.Stabilizing { loss = 0.2; dup = 0.1; retrans = 30 }
+
+let test_register_over_lossy_medium () =
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let scn = Harness.Scenario.create ~seed:5 ~medium:lossy_medium ~params () in
+  let w = Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 () in
+  let r = Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:101 ~inst:0 () in
+  let got = ref [] in
+  run_fibers scn
+    [
+      ( "wr",
+        fun () ->
+          for i = 1 to 10 do
+            Swsr_atomic.write w (int_value i);
+            got := Swsr_atomic.read r :: !got
+          done );
+    ];
+  List.iteri
+    (fun idx v ->
+      Alcotest.(check (option value))
+        (Printf.sprintf "read %d over lossy links" idx)
+        (Some (int_value (10 - idx)))
+        v)
+    !got
+
+let test_register_over_lossy_medium_concurrent () =
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let scn = Harness.Scenario.create ~seed:8 ~medium:lossy_medium ~params () in
+  Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 4
+    Byzantine.Behavior.garbage;
+  let w = Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 () in
+  let r = Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:101 ~inst:0 () in
+  run_fibers scn
+    [
+      ( "writer",
+        fun () ->
+          Harness.Workload.writer_job scn ~write:(Swsr_atomic.write w)
+            ~count:15 ~gap:(Harness.Workload.gap 0 30) () );
+      ( "reader",
+        fun () ->
+          Harness.Workload.reader_job scn
+            ~read:(fun () -> Swsr_atomic.read r)
+            ~count:15 ~gap:(Harness.Workload.gap 0 30) () );
+    ];
+  let cutoff =
+    match Oracles.History.writes scn.Harness.Scenario.history with
+    | w :: _ -> w.Oracles.History.resp
+    | [] -> Alcotest.fail "no writes"
+  in
+  let report = Oracles.Atomicity.Sw.check ~cutoff scn.Harness.Scenario.history in
+  if not (Oracles.Atomicity.Sw.is_clean report) then
+    Alcotest.failf "%a" Oracles.Atomicity.Sw.pp report
+
+let test_register_over_lossy_medium_with_transport_fault () =
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let scn = Harness.Scenario.create ~seed:9 ~medium:lossy_medium ~params () in
+  let w = Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 () in
+  let r = Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:101 ~inst:0 () in
+  Harness.Scenario.register_port scn (Swsr_atomic.writer_port w);
+  Harness.Scenario.register_port scn (Swsr_atomic.reader_port r);
+  Sim.Fault.schedule scn.Harness.Scenario.fault
+    ~engine:scn.Harness.Scenario.engine ~at:(Sim.Vtime.of_int 800) ~prefix:"";
+  let tail = ref [] in
+  run_fibers scn
+    [
+      ( "wr",
+        fun () ->
+          for i = 1 to 25 do
+            Swsr_atomic.write w (int_value i);
+            let v = Swsr_atomic.read r in
+            if i > 20 then tail := (i, v) :: !tail;
+            Harness.Scenario.sleep scn 40
+          done );
+    ];
+  (* The fault lands mid-run (t=800 against ~40 ticks per round); the last
+     reads must be correct again. *)
+  List.iter
+    (fun (i, v) ->
+      Alcotest.(check (option value))
+        (Printf.sprintf "post-fault read %d" i)
+        (Some (int_value i))
+        v)
+    !tail
+
+let tests =
+  [
+    case "lossy: reliable mode" test_lossy_reliable_mode;
+    case "lossy: reorders" test_lossy_reorders;
+    case "lossy: loses" test_lossy_loses;
+    case "lossy: duplicates" test_lossy_duplicates;
+    case "lossy: inject lossless" test_lossy_inject_never_lost;
+    case "lossy: corrupt in flight" test_lossy_corrupt_in_flight;
+    case "transport: exactly-once in order" test_transport_exactly_once_in_order;
+    case "transport: on_delivered ordering" test_transport_on_delivered_fires_after_delivery;
+    case "transport: retransmission cost" test_transport_cost_grows_with_loss;
+    case "transport: recovers from corruption" test_transport_recovers_from_corruption;
+    case "transport: tag wrap" test_transport_tag_wrap;
+    case "transport: validation" test_transport_validation;
+    case "corrupt_transport no-op on direct" test_corrupt_transport_noop_on_direct;
+    case "register over lossy links" test_register_over_lossy_medium;
+    case "register over lossy links, concurrent" test_register_over_lossy_medium_concurrent;
+    case "register over lossy links, transport fault" test_register_over_lossy_medium_with_transport_fault;
+  ]

@@ -1,0 +1,96 @@
+open Util
+
+let test_queueing_order () =
+  let mb = Sim.Mailbox.create () in
+  Sim.Mailbox.push mb 1;
+  Sim.Mailbox.push mb 2;
+  check_int "queued" 2 (Sim.Mailbox.length mb);
+  let got = ref [] in
+  let _h =
+    Sim.Fiber.spawn (fun () ->
+        let first = Sim.Mailbox.recv mb in
+        let second = Sim.Mailbox.recv mb in
+        got := [ first; second ])
+  in
+  check_true "FIFO order" (!got = [ 1; 2 ])
+
+let test_blocking_recv () =
+  let mb = Sim.Mailbox.create () in
+  let got = ref 0 in
+  let h = Sim.Fiber.spawn (fun () -> got := Sim.Mailbox.recv mb) in
+  check_true "blocked" (Sim.Fiber.status h = Sim.Fiber.Running);
+  Sim.Mailbox.push mb 7;
+  check_int "woken with value" 7 !got;
+  check_true "done" (Sim.Fiber.status h = Sim.Fiber.Done)
+
+let test_double_wait_rejected () =
+  let mb = Sim.Mailbox.create () in
+  let _h1 = Sim.Fiber.spawn (fun () -> ignore (Sim.Mailbox.recv mb)) in
+  try
+    ignore (Sim.Fiber.spawn (fun () -> ignore (Sim.Mailbox.recv mb)));
+    Alcotest.fail "second waiter should be rejected"
+  with Invalid_argument _ -> Sim.Mailbox.push mb 0
+
+let test_recv_until_timeout () =
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  let mb = Sim.Mailbox.create () in
+  let result = ref (Some 99) in
+  run_engine_fiber e (fun () ->
+      result :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 10) mb);
+  check_true "timed out with None" (!result = None);
+  check_int "time advanced to deadline" 10 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_recv_until_message_first () =
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  let mb = Sim.Mailbox.create () in
+  Sim.Engine.schedule e ~delay:3 (fun () -> Sim.Mailbox.push mb 5);
+  let result = ref None in
+  run_engine_fiber e (fun () ->
+      result :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 10) mb);
+  check_true "message won the race" (!result = Some 5)
+
+let test_stale_timer_does_not_clobber () =
+  (* After a timeout, the same fiber immediately waits again; the stale
+     timer event must not disturb the second wait. *)
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  let mb = Sim.Mailbox.create () in
+  Sim.Engine.schedule e ~delay:20 (fun () -> Sim.Mailbox.push mb 8);
+  let first = ref (Some 0) and second = ref None in
+  run_engine_fiber e (fun () ->
+      first :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 5) mb;
+      second :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 50) mb);
+  check_true "first timed out" (!first = None);
+  check_true "second got the message" (!second = Some 8)
+
+let test_message_after_timeout_stays_queued () =
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  let mb = Sim.Mailbox.create () in
+  Sim.Engine.schedule e ~delay:20 (fun () -> Sim.Mailbox.push mb 3);
+  let result = ref (Some 0) in
+  run_engine_fiber e (fun () ->
+      result :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 5) mb);
+  check_true "timed out" (!result = None);
+  check_int "late message queued, not lost" 1 (Sim.Mailbox.length mb)
+
+let test_drain () =
+  let mb = Sim.Mailbox.create () in
+  List.iter (Sim.Mailbox.push mb) [ 1; 2; 3 ];
+  check_true "drain order" (Sim.Mailbox.drain mb = [ 1; 2; 3 ]);
+  check_int "emptied" 0 (Sim.Mailbox.length mb)
+
+let tests =
+  [
+    case "queueing order" test_queueing_order;
+    case "blocking recv" test_blocking_recv;
+    case "double wait rejected" test_double_wait_rejected;
+    case "recv_until timeout" test_recv_until_timeout;
+    case "recv_until message first" test_recv_until_message_first;
+    case "stale timer" test_stale_timer_does_not_clobber;
+    case "late message queued" test_message_after_timeout_stays_queued;
+    case "drain" test_drain;
+  ]

@@ -1,0 +1,85 @@
+open Util
+open Harness
+
+let test_summary_basic () =
+  let s = Metrics.summary [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_int "count" 4 s.Metrics.count;
+  Alcotest.(check (float 0.001)) "mean" 2.5 s.Metrics.mean;
+  Alcotest.(check (float 0.001)) "p50" 2.0 s.Metrics.p50;
+  Alcotest.(check (float 0.001)) "max" 4.0 s.Metrics.max
+
+let test_summary_singleton () =
+  let s = Metrics.summary [ 7.0 ] in
+  Alcotest.(check (float 0.001)) "all stats" 7.0 s.Metrics.p95
+
+let test_summary_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.summary: empty sample")
+    (fun () -> ignore (Metrics.summary []));
+  check_true "opt none" (Metrics.summary_opt [] = None)
+
+let test_percentiles_unordered_input () =
+  let s = Metrics.summary [ 9.0; 1.0; 5.0; 3.0; 7.0 ] in
+  Alcotest.(check (float 0.001)) "median" 5.0 s.Metrics.p50;
+  Alcotest.(check (float 0.001)) "p95 ~ max" 9.0 s.Metrics.p95
+
+let mk_history () =
+  let h = Oracles.History.create () in
+  let t = Sim.Vtime.of_int in
+  Oracles.History.record h ~proc:"w" ~kind:Oracles.History.Write ~inv:(t 0)
+    ~resp:(t 10) (int_value 1);
+  Oracles.History.record h ~proc:"r" ~kind:Oracles.History.Read ~inv:(t 20)
+    ~resp:(t 25) (int_value 1);
+  Oracles.History.record h ~proc:"r" ~kind:Oracles.History.Read ~inv:(t 30)
+    ~resp:(t 45) ~ok:false Registers.Value.bot;
+  h
+
+let test_latencies () =
+  let h = mk_history () in
+  check_true "write latency" (Metrics.latencies ~kind:Oracles.History.Write h = [ 10.0 ]);
+  check_true "only ok reads" (Metrics.latencies ~kind:Oracles.History.Read h = [ 5.0 ])
+
+let test_read_counts () =
+  let h = mk_history () in
+  check_int "ok reads" 1 (Metrics.ok_reads h);
+  check_int "failed reads" 1 (Metrics.failed_reads h)
+
+let test_stabilization_index () =
+  let h = Oracles.History.create () in
+  let t = Sim.Vtime.of_int in
+  List.iteri
+    (fun i v ->
+      Oracles.History.record h ~proc:"r" ~kind:Oracles.History.Read
+        ~inv:(t (i * 10))
+        ~resp:(t ((i * 10) + 5))
+        (int_value v))
+    [ 99; 98; 1; 1; 1 ];
+  let valid (o : Oracles.History.op) =
+    Registers.Value.equal o.Oracles.History.value (int_value 1)
+  in
+  check_true "index of first clean suffix"
+    (Metrics.stabilization_read_index ~valid h = Some 2)
+
+let test_stabilization_none_cases () =
+  let valid _ = true in
+  check_true "empty history"
+    (Metrics.stabilization_read_index ~valid (Oracles.History.create ()) = None);
+  let h = Oracles.History.create () in
+  Oracles.History.record h ~proc:"r" ~kind:Oracles.History.Read
+    ~inv:Sim.Vtime.zero ~resp:Sim.Vtime.zero (int_value 1);
+  check_true "all clean -> 0"
+    (Metrics.stabilization_read_index ~valid h = Some 0);
+  let invalid _ = false in
+  check_true "never clean -> None"
+    (Metrics.stabilization_read_index ~valid:invalid h = None)
+
+let tests =
+  [
+    case "summary basic" test_summary_basic;
+    case "summary singleton" test_summary_singleton;
+    case "summary empty" test_summary_empty_rejected;
+    case "percentiles" test_percentiles_unordered_input;
+    case "latencies" test_latencies;
+    case "read counts" test_read_counts;
+    case "stabilization index" test_stabilization_index;
+    case "stabilization corner cases" test_stabilization_none_cases;
+  ]

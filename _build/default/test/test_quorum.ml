@@ -1,0 +1,56 @@
+open Util
+open Registers
+
+let cell sn v = { Messages.sn; v = Value.int v }
+
+let test_find_basic () =
+  let xs = [ 1; 2; 2; 3; 2 ] in
+  check_true "finds majority" (Quorum.find ~eq:Int.equal ~threshold:3 xs = Some 2);
+  check_true "threshold unmet" (Quorum.find ~eq:Int.equal ~threshold:4 xs = None);
+  check_true "empty" (Quorum.find ~eq:Int.equal ~threshold:1 [] = None)
+
+let test_find_first_by_appearance () =
+  let xs = [ 5; 7; 7; 5 ] in
+  check_true "first qualifying value wins"
+    (Quorum.find ~eq:Int.equal ~threshold:2 xs = Some 5)
+
+let test_find_threshold_validation () =
+  Alcotest.check_raises "zero threshold"
+    (Invalid_argument "Quorum.find: threshold must be positive") (fun () ->
+      ignore (Quorum.find ~eq:Int.equal ~threshold:0 [ 1 ]))
+
+let test_find_cell () =
+  let xs = [ cell 1 10; cell 1 10; cell 2 10 ] in
+  check_true "sn participates in equality"
+    (Quorum.find_cell ~threshold:2 xs = Some (cell 1 10));
+  check_true "sn mismatch breaks quorum"
+    (Quorum.find_cell ~threshold:3 xs = None)
+
+let test_find_help_ignores_bot () =
+  let h = Some (cell 1 7) in
+  check_true "bots don't count"
+    (Quorum.find_help ~threshold:2 [ None; h; None; h; None ] = Some (cell 1 7));
+  check_true "only bots -> none"
+    (Quorum.find_help ~threshold:1 [ None; None ] = None)
+
+let prop_find_counts =
+  QCheck.Test.make ~name:"find agrees with naive counting" ~count:300
+    QCheck.(pair (list (int_bound 5)) (int_range 1 4))
+    (fun (xs, threshold) ->
+      let naive =
+        List.exists
+          (fun x -> List.length (List.filter (Int.equal x) xs) >= threshold)
+          xs
+      in
+      let found = Quorum.find ~eq:Int.equal ~threshold xs <> None in
+      naive = found)
+
+let tests =
+  [
+    case "find basic" test_find_basic;
+    case "first by appearance" test_find_first_by_appearance;
+    case "threshold validation" test_find_threshold_validation;
+    case "find_cell" test_find_cell;
+    case "find_help ignores bot" test_find_help_ignores_bot;
+    qcheck prop_find_counts;
+  ]

@@ -1,0 +1,101 @@
+open Util
+open Oracles
+
+let t i = Sim.Vtime.of_int i
+
+let w h inv resp v =
+  History.record h ~proc:"writer" ~kind:History.Write ~inv:(t inv)
+    ~resp:(t resp) (int_value v)
+
+let r h inv resp v =
+  History.record h ~proc:"reader" ~kind:History.Read ~inv:(t inv)
+    ~resp:(t resp) (int_value v)
+
+let test_last_completed_write_ok () =
+  let h = History.create () in
+  w h 0 10 1;
+  w h 20 30 2;
+  r h 40 50 2;
+  let report = Regularity.check h in
+  check_true "clean" (Regularity.is_clean report);
+  check_int "checked" 1 report.Regularity.reads_checked
+
+let test_stale_value_flagged () =
+  let h = History.create () in
+  w h 0 10 1;
+  w h 20 30 2;
+  r h 40 50 1;
+  let report = Regularity.check h in
+  check_int "one violation" 1 (List.length report.Regularity.violations);
+  check_false "not clean" (Regularity.is_clean report)
+
+let test_concurrent_write_value_ok () =
+  let h = History.create () in
+  w h 0 10 1;
+  w h 20 60 2;
+  (* read overlaps the second write: either value is admissible *)
+  r h 30 40 2;
+  r h 45 55 1;
+  check_true "both admissible" (Regularity.is_clean (Regularity.check h))
+
+let test_never_written_value_flagged () =
+  let h = History.create () in
+  w h 0 10 1;
+  r h 20 30 99;
+  let report = Regularity.check h in
+  check_int "phantom flagged" 1 (List.length report.Regularity.violations)
+
+let test_cutoff_skips_early_reads () =
+  let h = History.create () in
+  w h 0 10 1;
+  r h 11 12 42 (* arbitrary pre-stabilization value *);
+  r h 100 110 1;
+  let report = Regularity.check ~cutoff:(t 50) h in
+  check_true "clean after cutoff" (Regularity.is_clean report);
+  check_int "skipped one" 1 report.Regularity.reads_skipped;
+  let strict = Regularity.check h in
+  check_int "without cutoff it is flagged" 1
+    (List.length strict.Regularity.violations)
+
+let test_liveness_failures_counted () =
+  let h = History.create () in
+  w h 0 10 1;
+  History.record h ~proc:"reader" ~kind:History.Read ~inv:(t 20) ~resp:(t 30)
+    ~ok:false Registers.Value.bot;
+  let report = Regularity.check h in
+  check_int "liveness failure" 1 report.Regularity.liveness_failures;
+  check_false "not clean" (Regularity.is_clean report)
+
+let test_initial_ok () =
+  let h = History.create () in
+  r h 0 5 7;
+  check_false "unwritten read flagged by default"
+    (Regularity.is_clean (Regularity.check h));
+  check_true "tolerated with initial_ok"
+    (Regularity.is_clean (Regularity.check ~initial_ok:true h))
+
+let test_touching_endpoint_precedence () =
+  (* A write responding exactly when the read starts counts as completed. *)
+  let h = History.create () in
+  w h 0 10 1;
+  w h 10 20 2;
+  r h 20 30 2;
+  check_true "boundary write counted" (Regularity.is_clean (Regularity.check h));
+  let h2 = History.create () in
+  w h2 0 10 1;
+  w h2 10 20 2;
+  r h2 20 30 1;
+  check_false "older value no longer admissible"
+    (Regularity.is_clean (Regularity.check h2))
+
+let tests =
+  [
+    case "last completed write ok" test_last_completed_write_ok;
+    case "stale value flagged" test_stale_value_flagged;
+    case "concurrent write ok" test_concurrent_write_value_ok;
+    case "phantom value flagged" test_never_written_value_flagged;
+    case "cutoff skips early reads" test_cutoff_skips_early_reads;
+    case "liveness failures counted" test_liveness_failures_counted;
+    case "initial_ok" test_initial_ok;
+    case "touching endpoints" test_touching_endpoint_precedence;
+  ]

@@ -1,0 +1,60 @@
+open Util
+
+let render f =
+  let buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf in
+  f out;
+  Format.pp_print_flush out ();
+  Buffer.contents buf
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_table_renders () =
+  let s =
+    render (fun out ->
+        Harness.Report.table ~out ~title:"T" ~header:[ "a"; "bbb" ]
+          [ [ "1"; "2" ]; [ "333"; "4" ] ])
+  in
+  check_true "title present" (contains ~needle:"T" s);
+  check_true "has header" (contains ~needle:"bbb" s);
+  check_true "has cells" (contains ~needle:"333" s)
+
+let test_table_alignment () =
+  let s =
+    render (fun out ->
+        Harness.Report.table ~out ~title:"T" ~header:[ "col" ]
+          [ [ "x" ]; [ "longer" ] ])
+  in
+  (* The separator row must be as wide as the longest cell. *)
+  check_true "separator sized" (String.length s > 10)
+
+let test_kv () =
+  let s =
+    render (fun out -> Harness.Report.kv ~out [ ("k", "v"); ("key2", "v2") ])
+  in
+  check_true "both lines" (String.split_on_char '\n' s |> List.length >= 2)
+
+let test_section () =
+  let s = render (fun out -> Harness.Report.section ~out "hello") in
+  check_true "banner" (String.length s >= String.length "=== hello ===")
+
+let test_formatters () =
+  Alcotest.(check string) "f1" "3.1" (Harness.Report.f1 3.14159);
+  Alcotest.(check string) "pct" "1/4 (25%)" (Harness.Report.pct 1 4);
+  Alcotest.(check string) "pct zero denom" "0/0" (Harness.Report.pct 0 0)
+
+let tests =
+  [
+    case "table renders" test_table_renders;
+    case "table alignment" test_table_alignment;
+    case "kv" test_kv;
+    case "section" test_section;
+    case "formatters" test_formatters;
+  ]

@@ -1,0 +1,87 @@
+open Util
+
+let test_determinism () =
+  let a = Sim.Rng.create 123 and b = Sim.Rng.create 123 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Sim.Rng.int a 1_000_000) (Sim.Rng.int b 1_000_000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let da = List.init 16 (fun _ -> Sim.Rng.int a 1_000_000) in
+  let db = List.init 16 (fun _ -> Sim.Rng.int b 1_000_000) in
+  check_true "different seeds differ" (da <> db)
+
+let test_split_independence () =
+  let root = Sim.Rng.create 9 in
+  let child = Sim.Rng.split root in
+  let child_draws = List.init 8 (fun _ -> Sim.Rng.int child 1000) in
+  (* Drawing more from the root must not disturb the child replay. *)
+  let root2 = Sim.Rng.create 9 in
+  let child2 = Sim.Rng.split root2 in
+  ignore (Sim.Rng.int root2 1000);
+  let child2_draws = List.init 8 (fun _ -> Sim.Rng.int child2 1000) in
+  check_true "split streams replay" (child_draws = child2_draws)
+
+let test_int_bounds () =
+  let rng = Sim.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.int rng 7 in
+    check_true "in [0,7)" (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Sim.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.int_in rng 3 5 in
+    check_true "in [3,5]" (x >= 3 && x <= 5)
+  done;
+  (* Degenerate single-point range. *)
+  check_int "point range" 4 (Sim.Rng.int_in rng 4 4)
+
+let test_float_bounds () =
+  let rng = Sim.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.float rng 1.0 in
+    check_true "in [0,1)" (x >= 0.0 && x < 1.0)
+  done
+
+let test_bool_mixes () =
+  let rng = Sim.Rng.create 5 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Sim.Rng.bool rng then incr trues
+  done;
+  check_true "roughly balanced" (!trues > 400 && !trues < 600)
+
+let test_pick () =
+  let rng = Sim.Rng.create 5 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check_true "picked element" (Array.mem (Sim.Rng.pick rng arr) arr)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Sim.Rng.create 5 in
+  let arr = Array.init 20 (fun i -> i) in
+  Sim.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  check_true "is permutation" (sorted = Array.init 20 (fun i -> i));
+  check_true "actually shuffled" (arr <> Array.init 20 (fun i -> i))
+
+let tests =
+  [
+    case "determinism" test_determinism;
+    case "seed sensitivity" test_seed_sensitivity;
+    case "split independence" test_split_independence;
+    case "int bounds" test_int_bounds;
+    case "int_in bounds" test_int_in;
+    case "float bounds" test_float_bounds;
+    case "bool mixes" test_bool_mixes;
+    case "pick membership" test_pick;
+    case "shuffle permutation" test_shuffle_permutation;
+  ]

@@ -1,0 +1,97 @@
+open Util
+open Registers
+
+let test_deterministic_replay () =
+  let run seed =
+    let scn = async_scenario ~seed () in
+    let w = Swsr_regular.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 in
+    let r = Swsr_regular.reader ~net:scn.Harness.Scenario.net ~client_id:101 ~inst:0 in
+    run_fibers scn
+      [
+        ( "wr",
+          fun () ->
+            for i = 1 to 10 do
+              Swsr_regular.write w (int_value i);
+              ignore (Swsr_regular.read r)
+            done );
+      ];
+    ( Sim.Vtime.to_int (Harness.Scenario.now scn),
+      Harness.Scenario.messages_sent scn,
+      Harness.Scenario.broadcasts scn )
+  in
+  check_true "bit-identical replay" (run 5 = run 5);
+  check_true "different seeds differ" (run 5 <> run 6)
+
+let test_fault_targets_registered () =
+  let scn = async_scenario ~n:9 () in
+  let names = Sim.Fault.names scn.Harness.Scenario.fault in
+  check_int "one target per server" 9
+    (List.length
+       (List.filter
+          (fun n -> String.length n > 7 && String.sub n 0 7 = "server.")
+          names))
+
+let test_register_port_targets () =
+  let scn = async_scenario () in
+  let w = Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:42 ~inst:0 () in
+  Harness.Scenario.register_port scn (Swsr_atomic.writer_port w);
+  Harness.Scenario.register_atomic_writer scn ~name:"w" w;
+  let names = Sim.Fault.names scn.Harness.Scenario.fault in
+  check_true "round target" (List.mem "client.42.round" names);
+  check_true "link target" (List.mem "link.c42" names);
+  check_true "wsn target" (List.mem "client.w.wsn" names)
+
+let test_record_success_and_failure () =
+  let scn = async_scenario () in
+  let _ =
+    Sim.Fiber.spawn (fun () ->
+        ignore
+          (Harness.Scenario.record scn ~proc:"p" ~kind:Oracles.History.Read
+             (fun () -> Some (int_value 1)));
+        ignore
+          (Harness.Scenario.record scn ~proc:"p" ~kind:Oracles.History.Read
+             (fun () -> None)))
+  in
+  Harness.Scenario.run scn;
+  match Oracles.History.ops scn.Harness.Scenario.history with
+  | [ ok_op; failed_op ] ->
+    check_true "ok recorded" ok_op.Oracles.History.ok;
+    check_false "failure recorded" failed_op.Oracles.History.ok
+  | l -> Alcotest.failf "expected 2 ops, got %d" (List.length l)
+
+let test_sleep_advances_time () =
+  let scn = async_scenario () in
+  let woke = ref (-1) in
+  run_fiber scn "sleeper" (fun () ->
+      Harness.Scenario.sleep scn 123;
+      woke := Sim.Vtime.to_int (Harness.Scenario.now scn));
+  check_int "slept" 123 !woke
+
+let test_sync_delay_validation () =
+  Alcotest.check_raises "delays beyond max_delay rejected"
+    (Invalid_argument "Scenario.create: sync delays exceed the model's max_delay")
+    (fun () ->
+      let params =
+        Params.create_exn ~n:4 ~f:1
+          ~mode:(Params.Sync { max_delay = 5; slack = 1 })
+      in
+      ignore (Harness.Scenario.create ~delay:(1, 50) ~params ()))
+
+let test_message_accounting () =
+  let scn = async_scenario () in
+  let w = Swsr_regular.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 in
+  run_fiber scn "w" (fun () -> Swsr_regular.write w (int_value 1));
+  (* WRITE to 9 servers + 9 acks + NEW_HELP_VAL to 9 servers. *)
+  check_int "messages counted" 27 (Harness.Scenario.messages_sent scn);
+  check_int "broadcasts counted" 2 (Harness.Scenario.broadcasts scn)
+
+let tests =
+  [
+    case "deterministic replay" test_deterministic_replay;
+    case "fault targets registered" test_fault_targets_registered;
+    case "port targets registered" test_register_port_targets;
+    case "record ok/failure" test_record_success_and_failure;
+    case "sleep" test_sleep_advances_time;
+    case "sync delay validation" test_sync_delay_validation;
+    case "message accounting" test_message_accounting;
+  ]

@@ -1,0 +1,89 @@
+open Util
+open Registers
+
+let m = 101 (* small odd modulus to exercise wrap-around *)
+
+let test_modulus_validation () =
+  Alcotest.check_raises "even rejected"
+    (Invalid_argument "Seqnum: modulus must be odd and >= 3") (fun () ->
+      Seqnum.validate_modulus 100);
+  Alcotest.check_raises "tiny rejected"
+    (Invalid_argument "Seqnum: modulus must be odd and >= 3") (fun () ->
+      Seqnum.validate_modulus 1);
+  Seqnum.validate_modulus 3;
+  Seqnum.validate_modulus Seqnum.default_modulus
+
+let test_succ_wraps () =
+  check_int "succ" 1 (Seqnum.succ ~modulus:m 0);
+  check_int "wrap" 0 (Seqnum.succ ~modulus:m (m - 1))
+
+let test_norm () =
+  check_int "in range" 5 (Seqnum.norm ~modulus:m 5);
+  check_int "overflow" 4 (Seqnum.norm ~modulus:m (m + 4));
+  check_int "negative" (m - 1) (Seqnum.norm ~modulus:m (-1))
+
+let test_basic_order () =
+  check_true "5 > 3" (Seqnum.gt_cd ~modulus:m 5 3);
+  check_false "3 > 5" (Seqnum.gt_cd ~modulus:m 3 5);
+  check_true "refl ge" (Seqnum.ge_cd ~modulus:m 7 7);
+  check_false "irrefl gt" (Seqnum.gt_cd ~modulus:m 7 7)
+
+let test_wraparound_order () =
+  (* Just past the wrap point, small numbers are "newer" than large ones. *)
+  check_true "0 newer than m-1" (Seqnum.gt_cd ~modulus:m 0 (m - 1));
+  check_true "2 newer than m-3" (Seqnum.gt_cd ~modulus:m 2 (m - 3));
+  check_false "m-1 newer than 0" (Seqnum.gt_cd ~modulus:m (m - 1) 0)
+
+let test_antisymmetry_exhaustive () =
+  (* With an odd modulus, exactly one of x >_cd y / y >_cd x holds for
+     distinct x, y. *)
+  for x = 0 to m - 1 do
+    for y = 0 to m - 1 do
+      if x <> y then
+        check_true "strict total on pairs"
+          (Seqnum.gt_cd ~modulus:m x y <> Seqnum.gt_cd ~modulus:m y x)
+    done
+  done
+
+let test_write_order_window () =
+  (* Along a run of fewer than m/2 consecutive writes the order matches
+     write order, wherever the window sits. *)
+  for start = 0 to m - 1 do
+    let prev = ref start in
+    for _ = 1 to (m / 2) - 1 do
+      let next = Seqnum.succ ~modulus:m !prev in
+      check_true "later write is cd-greater" (Seqnum.gt_cd ~modulus:m next !prev);
+      prev := next
+    done
+  done
+
+let prop_succ_gt =
+  QCheck.Test.make ~name:"succ is >_cd within the window" ~count:500
+    QCheck.(pair (int_bound (m - 1)) (int_bound ((m / 2) - 2)))
+    (fun (x, steps) ->
+      let rec advance v = function 0 -> v | k -> advance (Seqnum.succ ~modulus:m v) (k - 1) in
+      let y = advance x (steps + 1) in
+      Seqnum.gt_cd ~modulus:m y x)
+
+let prop_transitive_in_window =
+  QCheck.Test.make ~name:"order transitive within half-window" ~count:500
+    QCheck.(triple (int_bound (m - 1)) (int_bound ((m / 4) - 1)) (int_bound ((m / 4) - 1)))
+    (fun (x, a, b) ->
+      let y = Seqnum.norm ~modulus:m (x + a + 1) in
+      let z = Seqnum.norm ~modulus:m (x + a + b + 2) in
+      Seqnum.gt_cd ~modulus:m z y
+      && Seqnum.gt_cd ~modulus:m y x
+      && Seqnum.gt_cd ~modulus:m z x)
+
+let tests =
+  [
+    case "modulus validation" test_modulus_validation;
+    case "succ wraps" test_succ_wraps;
+    case "norm" test_norm;
+    case "basic order" test_basic_order;
+    case "wraparound order" test_wraparound_order;
+    case "antisymmetry (exhaustive)" test_antisymmetry_exhaustive;
+    case "write-order windows" test_write_order_window;
+    qcheck prop_succ_gt;
+    qcheck prop_transitive_in_window;
+  ]

@@ -1,0 +1,40 @@
+open Util
+
+let test_counters () =
+  let tr = Sim.Trace.create () in
+  check_int "fresh counter" 0 (Sim.Trace.counter tr "x");
+  Sim.Trace.incr tr "x";
+  Sim.Trace.incr tr "x";
+  Sim.Trace.add tr "y" 5;
+  check_int "x" 2 (Sim.Trace.counter tr "x");
+  check_int "y" 5 (Sim.Trace.counter tr "y");
+  check_true "sorted listing"
+    (Sim.Trace.counters tr = [ ("x", 2); ("y", 5) ]);
+  Sim.Trace.reset_counters tr;
+  check_int "reset" 0 (Sim.Trace.counter tr "x")
+
+let test_events () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.emit tr ~time:(Sim.Vtime.of_int 1) ~tag:"a" "first";
+  Sim.Trace.emit tr ~time:(Sim.Vtime.of_int 2) ~tag:"b" "second";
+  Sim.Trace.emit tr ~time:(Sim.Vtime.of_int 3) ~tag:"a" "third";
+  check_int "all events" 3 (List.length (Sim.Trace.events tr));
+  let tagged = Sim.Trace.events_tagged tr "a" in
+  check_int "tagged" 2 (List.length tagged);
+  check_true "oldest first"
+    (List.map (fun (e : Sim.Trace.event) -> e.detail) tagged
+    = [ "first"; "third" ])
+
+let test_recording_disabled () =
+  let tr = Sim.Trace.create ~record_events:false () in
+  Sim.Trace.emit tr ~time:Sim.Vtime.zero ~tag:"a" "dropped";
+  check_int "no events" 0 (List.length (Sim.Trace.events tr));
+  Sim.Trace.incr tr "still-counting";
+  check_int "counters alive" 1 (Sim.Trace.counter tr "still-counting")
+
+let tests =
+  [
+    case "counters" test_counters;
+    case "events" test_events;
+    case "recording disabled" test_recording_disabled;
+  ]

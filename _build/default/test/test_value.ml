@@ -1,0 +1,45 @@
+open Util
+open Registers
+
+let test_equal () =
+  check_true "bot" (Value.equal Value.bot Value.bot);
+  check_true "int" (Value.equal (Value.int 3) (Value.int 3));
+  check_false "int neq" (Value.equal (Value.int 3) (Value.int 4));
+  check_true "str" (Value.equal (Value.str "a") (Value.str "a"));
+  check_false "cross kind" (Value.equal (Value.int 0) Value.bot)
+
+let test_stamped_equal () =
+  let e = Epoch.genesis ~k:2 in
+  let v1 = Value.stamped ~data:(Value.int 1) ~epoch:e ~seq:5 in
+  let v2 = Value.stamped ~data:(Value.int 1) ~epoch:e ~seq:5 in
+  let v3 = Value.stamped ~data:(Value.int 1) ~epoch:e ~seq:6 in
+  check_true "same triple" (Value.equal v1 v2);
+  check_false "different seq" (Value.equal v1 v3)
+
+let test_nested_stamped () =
+  let e = Epoch.genesis ~k:2 in
+  let inner = Value.stamped ~data:(Value.str "x") ~epoch:e ~seq:0 in
+  let outer = Value.stamped ~data:inner ~epoch:e ~seq:1 in
+  check_true "nested compares" (Value.equal outer outer)
+
+let test_pp () =
+  Alcotest.(check string) "int" "7" (Value.to_string (Value.int 7));
+  Alcotest.(check string) "bot" "\xe2\x8a\xa5" (Value.to_string Value.bot);
+  Alcotest.(check string) "str" "\"hi\"" (Value.to_string (Value.str "hi"))
+
+let test_arbitrary_not_stamped () =
+  let rng = Sim.Rng.create 3 in
+  for _ = 1 to 50 do
+    match Value.arbitrary rng with
+    | Value.Stamped _ -> Alcotest.fail "arbitrary produced Stamped"
+    | Value.Bot | Value.Int _ | Value.Str _ -> ()
+  done
+
+let tests =
+  [
+    case "equal" test_equal;
+    case "stamped equal" test_stamped_equal;
+    case "nested stamped" test_nested_stamped;
+    case "pretty printing" test_pp;
+    case "arbitrary shape" test_arbitrary_not_stamped;
+  ]

@@ -1,0 +1,32 @@
+open Util
+
+let test_origin () =
+  check_int "zero is 0" 0 (Sim.Vtime.to_int Sim.Vtime.zero);
+  check_int "of_int/to_int" 42 (Sim.Vtime.to_int (Sim.Vtime.of_int 42))
+
+let test_negative_rejected () =
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Vtime.of_int: negative time") (fun () ->
+      ignore (Sim.Vtime.of_int (-1)))
+
+let test_arithmetic () =
+  let t = Sim.Vtime.of_int 10 in
+  check_int "add" 15 (Sim.Vtime.to_int (Sim.Vtime.add t 5));
+  check_int "diff" 5 (Sim.Vtime.diff (Sim.Vtime.of_int 15) t);
+  check_int "negative diff" (-5) (Sim.Vtime.diff t (Sim.Vtime.of_int 15))
+
+let test_ordering () =
+  let a = Sim.Vtime.of_int 3 and b = Sim.Vtime.of_int 7 in
+  check_true "lt" Sim.Vtime.(a < b);
+  check_false "not lt" Sim.Vtime.(b < a);
+  check_true "le refl" Sim.Vtime.(a <= a);
+  check_int "compare" (-1) (compare (Sim.Vtime.compare a b) 0);
+  check_int "max" 7 (Sim.Vtime.to_int (Sim.Vtime.max a b))
+
+let tests =
+  [
+    case "origin" test_origin;
+    case "negative rejected" test_negative_rejected;
+    case "arithmetic" test_arithmetic;
+    case "ordering" test_ordering;
+  ]

@@ -229,4 +229,30 @@ let () =
   List.iter
     (fun (name, ns) ->
       Printf.printf "%-52s %14.1f %12.0f\n" name ns (1e9 /. ns))
-    rows
+    rows;
+  (* Machine-readable companion: same rows, stable schema. *)
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "stabreg/bench/v1");
+        ( "rows",
+          Obs.Json.List
+            (List.map
+               (fun (name, ns) ->
+                 let num x =
+                   if Float.is_nan x then Obs.Json.Null else Obs.Json.Float x
+                 in
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str name);
+                     ("ns_per_op", num ns);
+                     ("ops_per_sec", num (1e9 /. ns));
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_1.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nrows written to BENCH_1.json\n"

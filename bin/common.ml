@@ -4,8 +4,106 @@ open Registers
 
 let async_params ~n ~f = Params.create_unchecked ~n ~f ~mode:Params.Async
 
-let scenario ?(seed = 1) ?delay ~params () =
-  Harness.Scenario.create ~seed ?delay ~params ()
+(* --- run reports and trace sinks (--json / --trace-out) --- *)
+
+let json_dir : string option ref = ref None
+
+let trace_out : string option ref = ref None
+
+let current_report : Obs.Report.t option ref = ref None
+
+(* Drivers sweep many configurations; the report captures the first one
+   observed (the headline deployment), so repeated observe calls within
+   one driver are no-ops. *)
+let observed = ref false
+
+let trace_channel : out_channel option ref = ref None
+
+let attach_trace_sink hub =
+  match !trace_out with
+  | None -> ()
+  | Some path ->
+    let oc =
+      match !trace_channel with
+      | Some oc -> oc
+      | None ->
+        let parent = Filename.dirname path in
+        if parent <> "" && parent <> "." then Obs.Report.mkdir_p parent;
+        let oc = open_out path in
+        trace_channel := Some oc;
+        oc
+    in
+    Obs.Hub.attach hub
+      (Obs.Sink.jsonl
+         ~flush:(fun () -> flush oc)
+         (fun line -> output_string oc line))
+
+let close_trace () =
+  match !trace_channel with
+  | Some oc ->
+    close_out oc;
+    trace_channel := None
+  | None -> ()
+
+let report () = !current_report
+
+let first_observation () = !current_report <> None && not !observed
+
+let observe_scn scn =
+  match !current_report with
+  | Some r when not !observed ->
+    observed := true;
+    Harness.Run_report.observe r scn
+  | Some _ | None -> ()
+
+let observe_trace ?params trace =
+  match !current_report with
+  | Some r when not !observed ->
+    observed := true;
+    (match params with
+    | Some p -> Harness.Run_report.observe_params r p
+    | None -> ());
+    Harness.Run_report.observe_trace r trace
+  | Some _ | None -> ()
+
+let observe_metrics ?params metrics =
+  match !current_report with
+  | Some r when not !observed ->
+    observed := true;
+    (match params with
+    | Some p -> Harness.Run_report.observe_params r p
+    | None -> ());
+    Harness.Run_report.observe_metrics r metrics
+  | Some _ | None -> ()
+
+let set_stabilization ticks =
+  match !current_report with
+  | Some r -> Obs.Report.set_stabilization r ticks
+  | None -> ()
+
+let add_extra key v =
+  match !current_report with
+  | Some r -> Obs.Report.add_extra r key v
+  | None -> ()
+
+let with_report ~exp ~seed f =
+  let r = Obs.Report.create ~experiment:exp ~seed in
+  current_report := Some r;
+  observed := false;
+  Fun.protect
+    ~finally:(fun () -> current_report := None)
+    (fun () ->
+      f ();
+      match !json_dir with
+      | Some dir ->
+        let path = Obs.Report.write ~dir r in
+        Printf.printf "\n[%s] report written to %s\n" exp path
+      | None -> ())
+
+let scenario ?(seed = 1) ?delay ?medium ~params () =
+  let scn = Harness.Scenario.create ~seed ?delay ?medium ~params () in
+  attach_trace_sink (Harness.Scenario.hub scn);
+  scn
 
 (* Spawn jobs, run the engine, fail loudly if a fiber wedged. *)
 let run_jobs scn jobs =

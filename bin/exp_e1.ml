@@ -5,7 +5,15 @@
 let run ~seed:_ =
   Harness.Report.section "E1: Figure 1 — new/old inversion (regular vs atomic)";
   let row kind label =
-    let o = Harness.Fig1.run kind in
+    let o =
+      Harness.Fig1.run
+        ~instrument:(fun e -> Common.attach_trace_sink (Sim.Engine.hub e))
+        kind
+    in
+    Common.observe_trace
+      ~params:
+        (Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async)
+      o.Harness.Fig1.trace;
     [
       label;
       Common.value_str o.Harness.Fig1.read1;

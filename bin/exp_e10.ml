@@ -26,6 +26,7 @@ let run_one ~seed ~moves =
               Byzantine.Behavior.garbage
           done );
     ];
+  Common.observe_scn scn;
   (!correct, !total)
 
 let run ~seed =

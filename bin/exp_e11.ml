@@ -14,7 +14,7 @@ open Registers
 let run_one ~seed ~loss =
   let params = Common.async_params ~n:9 ~f:1 in
   let medium = Net.Stabilizing { loss; dup = 0.1; retrans = 30 } in
-  let scn = Harness.Scenario.create ~seed ~medium ~params () in
+  let scn = Common.scenario ~seed ~medium ~params () in
   Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 2
     Byzantine.Behavior.garbage;
   let w, r = Common.atomic_pair scn in
@@ -34,6 +34,7 @@ let run_one ~seed ~loss =
                  ~kind:Oracles.History.Read (fun () -> Swsr_atomic.read r))
           done );
     ];
+  Common.observe_scn scn;
   let cutoff =
     match Common.first_write_resp scn with
     | Some t -> t

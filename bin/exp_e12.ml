@@ -47,6 +47,7 @@ let recovery_reads ~seed ~sanity_check =
               recovered_at := None
           done );
     ];
+  Common.observe_scn scn;
   (!stale, !recovered_at)
 
 let run ~seed =

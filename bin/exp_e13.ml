@@ -66,6 +66,7 @@ let random_workload ~seed kind =
             Harness.Scenario.sleep scn (Sim.Rng.int_in rng 0 10)
           done );
     ];
+  Common.observe_scn scn;
   let cutoff =
     match Common.first_write_resp scn with Some t -> t | None -> Sim.Vtime.zero
   in

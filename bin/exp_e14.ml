@@ -32,6 +32,7 @@ let measure ~seed ~n =
                  ~kind:Oracles.History.Read (fun () -> Swsr_atomic.read r))
           done );
     ];
+  Common.observe_scn scn;
   let rd =
     Harness.Metrics.summary
       (Harness.Metrics.latencies ~kind:Oracles.History.Read

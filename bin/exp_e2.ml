@@ -58,6 +58,10 @@ let run_one ~seed ~n ~f =
       Sim.Vtime.to_int last_bad.Oracles.History.resp - fault_at
     | [] -> 0
   in
+  if Common.first_observation () then begin
+    Common.observe_scn scn;
+    Common.set_stabilization stab_time
+  end;
   (List.length arbitrary, List.length post_fault_reads, stab_time)
 
 (* A deterministic exhibition of the pre-stabilization window: all servers

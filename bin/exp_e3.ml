@@ -31,6 +31,7 @@ let random_starved ~seed ~n ~f =
             | Some _ -> ()
           done );
     ];
+  Common.observe_scn scn;
   !starved
 
 let run ~seed =
@@ -45,7 +46,11 @@ let run ~seed =
           done;
           !s
         in
-        let scripted = Harness.Starvation.run ~n ~f () in
+        let scripted =
+          Harness.Starvation.run ~n ~f
+            ~instrument:(fun e -> Common.attach_trace_sink (Sim.Engine.hub e))
+            ()
+        in
         [
           string_of_int n;
           string_of_int f;

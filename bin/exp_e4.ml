@@ -10,7 +10,13 @@ let run ~seed:_ =
   let rows =
     List.map
       (fun (n, f) ->
-        let o = Harness.Starvation.run ~n ~f ~sync:true ~budget:10 () in
+        let o =
+          Harness.Starvation.run ~n ~f ~sync:true ~budget:10
+            ~instrument:(fun e -> Common.attach_trace_sink (Sim.Engine.hub e))
+            ()
+        in
+        Common.observe_trace ~params:o.Harness.Starvation.params
+          o.Harness.Starvation.trace;
         [
           string_of_int n;
           string_of_int f;

@@ -27,6 +27,7 @@ let run_one ~seed ~n ~delay =
             ignore (Swsr_atomic.read r)
           done );
     ];
+  Common.observe_scn scn;
   (Swsr_atomic.reader_iterations r, Swsr_atomic.help_returns r)
 
 let run ~seed =

@@ -75,6 +75,7 @@ let run_sequential ~seed ~seq_bound =
           done );
     ];
   let epochs = Array.fold_left (fun a p -> a + Mwmr.epochs_opened p) 0 procs in
+  Common.observe_scn scn;
   let report =
     Oracles.Atomicity.Mw.check ~tie:cfg.Mwmr.tie scn.Harness.Scenario.history
   in

@@ -60,6 +60,7 @@ let poison_comparison ~seed =
             | Some _ | None -> ()
           done );
     ];
+  Common.observe_scn scn2;
   (!wedged, !recovered)
 
 let pressure_comparison ~seed =

@@ -8,13 +8,27 @@ let run_clean ~seed ~loss =
   let s =
     Datalink.Alt_bit.create ~rng:(Sim.Rng.create seed) ~cap:4 ~loss ~dup:0.1 ()
   in
+  (* No engine here: the data link runs standalone, so the driver keeps
+     its own registry with a packets-per-handshake histogram. *)
+  let metrics = Obs.Metrics.create () in
   let sent = 20 in
   let ok = ref 0 in
   for i = 1 to sent do
-    match Datalink.Alt_bit.send s i with
+    let before = Datalink.Alt_bit.packets_sent s in
+    (match Datalink.Alt_bit.send s i with
     | Ok () -> incr ok
-    | Error _ -> ()
+    | Error _ -> ());
+    Obs.Metrics.observe_named metrics "op.altbit.send"
+      (float_of_int (Datalink.Alt_bit.packets_sent s - before))
   done;
+  Obs.Metrics.add metrics "altbit.handshakes" !ok;
+  Obs.Metrics.add metrics "altbit.packets" (Datalink.Alt_bit.packets_sent s);
+  if Common.first_observation () then begin
+    (match Common.report () with
+    | Some r -> Obs.Report.set_params r ~n:2 ~f:0 ~mode:"datalink"
+    | None -> ());
+    Common.observe_metrics metrics
+  end;
   let delivered = Datalink.Alt_bit.delivered s in
   let distinct =
     List.sort_uniq Int.compare delivered |> List.length

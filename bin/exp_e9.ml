@@ -63,6 +63,7 @@ let measure ~seed ~n ~f which =
               ignore (Mwmr.read p1)
             done );
       ]);
+  Common.observe_scn scn;
   let total_ops = 2 * ops in
   ( float_of_int (Harness.Scenario.messages_sent scn) /. float_of_int total_ops,
     float_of_int (Harness.Scenario.broadcasts scn) /. float_of_int total_ops )

@@ -33,8 +33,28 @@ let seed_arg =
   let doc = "Root random seed; every table is deterministic given it." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let json_arg =
+  let doc =
+    "Write one machine-readable run report per experiment as \
+     $(docv)/<exp>.json (schema stabreg/run-report/v1).  $(docv) defaults \
+     to $(b,results) when the flag is given without a value."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "results") (some string) None
+    & info [ "json" ] ~docv:"DIR" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Append the typed event stream of every instrumented deployment to \
+     $(docv) as JSON lines (one event per line)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run ids seed =
+  let run ids seed json trace =
+    Exp_drivers.Common.json_dir := json;
+    Exp_drivers.Common.trace_out := trace;
     let wanted =
       if List.exists (fun id -> String.lowercase_ascii id = "all") ids then
         List.map (fun (id, _, _) -> id) all
@@ -53,14 +73,51 @@ let run_cmd =
       List.iter
         (fun id ->
           let _, _, f = List.find (fun (i, _, _) -> i = id) all in
-          f ~seed)
+          Exp_drivers.Common.with_report ~exp:id ~seed (fun () -> f ~seed))
         wanted;
+      Exp_drivers.Common.close_trace ();
       `Ok ()
   in
   let doc = "Run experiments and print their tables." in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(ret (const run $ ids_arg $ seed_arg))
+    Term.(ret (const run $ ids_arg $ seed_arg $ json_arg $ trace_out_arg))
+
+let validate_cmd =
+  let read_file path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let validate files =
+    let problems =
+      List.filter_map
+        (fun path ->
+          match Obs.Json.parse (read_file path) with
+          | Error e -> Some (Printf.sprintf "%s: parse error: %s" path e)
+          | Ok j -> (
+            match Obs.Report.validate j with
+            | Ok () -> None
+            | Error e -> Some (Printf.sprintf "%s: %s" path e)))
+        files
+    in
+    match problems with
+    | [] ->
+      Printf.printf "%d report(s) valid (%s)\n" (List.length files)
+        Obs.Report.schema_version;
+      `Ok ()
+    | _ :: _ -> `Error (false, String.concat "\n" problems)
+  in
+  let files_arg =
+    let doc = "Run-report JSON files to check against the schema." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate run-report files against the versioned schema.")
+    Term.(ret (const validate $ files_arg))
 
 let trace_cmd =
   (* A small annotated run with full event recording: lets adopters see
@@ -120,6 +177,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "stabreg-experiments" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; trace_cmd ]
+    [ run_cmd; list_cmd; trace_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main)

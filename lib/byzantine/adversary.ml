@@ -9,6 +9,17 @@ type t = {
 
 let install_honest t i = Net.install_honest_server t.net t.servers.(i)
 
+let mark t label i =
+  let engine = Net.engine t.net in
+  let hub = Sim.Engine.hub engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Mark
+         {
+           time = Sim.Vtime.to_int (Sim.Engine.now engine);
+           label = Printf.sprintf "byz.%s.s%d" label i;
+         })
+
 let sync_correct t =
   let byz = t.byz in
   Net.set_correct t.net (fun i -> not (List.mem i byz))
@@ -29,12 +40,14 @@ let servers t = t.servers
 let server t i = t.servers.(i)
 
 let compromise t i behavior =
+  mark t "compromise" i;
   if not (List.mem i t.byz) then t.byz <- i :: t.byz;
   let ctx = { Behavior.net = t.net; server_id = i; rng = Sim.Rng.split t.rng } in
   (Net.endpoints t.net).(i).Net.on_deliver <- (fun env -> behavior ctx env);
   sync_correct t
 
 let restore t i =
+  mark t "restore" i;
   t.byz <- List.filter (fun j -> j <> i) t.byz;
   (* A machine coming back from Byzantine control holds arbitrary state. *)
   Server.corrupt t.servers.(i) t.rng;

@@ -17,6 +17,7 @@ type outcome = {
   read2 : Registers.Value.t option;
   write1_pending_during_reads : bool;
   inversion : bool;
+  trace : Sim.Trace.t;
 }
 
 let scripted = Script.scripted
@@ -54,10 +55,12 @@ let build_link_delay kind =
       | (`Regular | `Atomic), _ -> scripted [] 1
     end
 
-let run kind =
+let run ?(instrument = fun _ -> ()) kind =
   let params = Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async in
   let rng = Sim.Rng.create 1 in
-  let engine = Sim.Engine.create ~rng () in
+  let trace = Sim.Trace.create ~record_events:false () in
+  let engine = Sim.Engine.create ~trace ~rng () in
+  instrument engine;
   let net =
     Registers.Net.create ~engine ~params ~link_delay:(build_link_delay kind) ()
   in
@@ -117,4 +120,5 @@ let run kind =
       Sim.Vtime.( < ) !write1_start !read1_start
       && Sim.Vtime.( < ) !read2_start !write1_end;
     inversion;
+    trace;
   }

@@ -16,6 +16,9 @@ type outcome = {
       (** sanity: the schedule really kept write(1) concurrent with both
           reads *)
   inversion : bool;  (** read1 = 1 and read2 = 0 *)
+  trace : Sim.Trace.t;  (** the run's trace/metrics, for run reports *)
 }
 
-val run : [ `Regular | `Atomic ] -> outcome
+val run : ?instrument:(Sim.Engine.t -> unit) -> [ `Regular | `Atomic ] -> outcome
+(** [instrument] is called on the freshly built engine before the
+    schedule runs — the hook for attaching event sinks. *)

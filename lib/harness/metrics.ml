@@ -1,15 +1,19 @@
 type summary = {
   count : int;
   mean : float;
+  min : float;
   p50 : float;
   p95 : float;
+  p99 : float;
   max : float;
 }
 
 let percentile sorted p =
-  let n = Array.length sorted in
-  let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
-  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+  if p <= 0.0 then sorted.(0)
+  else
+    let n = Array.length sorted in
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
 
 let summary xs =
   if xs = [] then invalid_arg "Metrics.summary: empty sample";
@@ -20,8 +24,10 @@ let summary xs =
   {
     count = n;
     mean = total /. float_of_int n;
+    min = arr.(0);
     p50 = percentile arr 0.5;
     p95 = percentile arr 0.95;
+    p99 = percentile arr 0.99;
     max = arr.(n - 1);
   }
 
@@ -62,5 +68,5 @@ let stabilization_read_index ~valid h =
     | Some _ -> None
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p95=%.1f max=%.1f" s.count
-    s.mean s.p50 s.p95 s.max
+  Format.fprintf ppf "n=%d mean=%.1f min=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f"
+    s.count s.mean s.min s.p50 s.p95 s.p99 s.max

@@ -4,8 +4,10 @@
 type summary = {
   count : int;
   mean : float;
+  min : float;
   p50 : float;
   p95 : float;
+  p99 : float;
   max : float;
 }
 

@@ -39,7 +39,10 @@ let section ?(out = default_out) title =
 let f1 x = Printf.sprintf "%.1f" x
 
 let pct num denom =
-  if denom = 0 then Printf.sprintf "%d/%d" num denom
+  if denom = 0 then Printf.sprintf "%d/%d (—)" num denom
   else
     Printf.sprintf "%d/%d (%.0f%%)" num denom
       (100.0 *. float_of_int num /. float_of_int denom)
+
+let json_kv pairs =
+  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Str v)) pairs)

@@ -15,4 +15,9 @@ val f1 : float -> string
 (** One-decimal float. *)
 
 val pct : int -> int -> string
-(** [pct num denom] as "x/y (z%)". *)
+(** [pct num denom] as "x/y (z%)"; a zero denominator renders as
+    "0/0 (—)" rather than a division artifact. *)
+
+val json_kv : (string * string) list -> Obs.Json.t
+(** String pairs as a JSON object, for the [extra] section of run
+    reports. *)

@@ -1,0 +1,55 @@
+let mode_string (params : Registers.Params.t) =
+  match params.mode with
+  | Registers.Params.Async -> "async"
+  | Registers.Params.Sync _ -> "sync"
+
+let observe_params report (params : Registers.Params.t) =
+  if not (Obs.Report.has_params report) then
+    Obs.Report.set_params report ~n:params.n ~f:params.f
+      ~mode:(mode_string params)
+
+let op_prefix = "op."
+
+let observe_metrics report metrics =
+  List.iter
+    (fun cls ->
+      let name = Obs.Event.class_name cls in
+      let sent =
+        Obs.Metrics.counter metrics (Printf.sprintf "msg.sent.%s.count" name)
+      in
+      let recv =
+        Obs.Metrics.counter metrics (Printf.sprintf "msg.recv.%s.count" name)
+      in
+      let bytes =
+        Obs.Metrics.counter metrics (Printf.sprintf "msg.sent.%s.bytes" name)
+      in
+      if sent > 0 || recv > 0 then
+        Obs.Report.add_message_class report ~name ~sent ~recv ~bytes)
+    Obs.Event.all_classes;
+  List.iter
+    (fun (name, h) ->
+      let plen = String.length op_prefix in
+      if
+        String.length name > plen
+        && String.equal (String.sub name 0 plen) op_prefix
+        && Obs.Metrics.hist_count h > 0
+      then
+        Obs.Report.add_op_summary report
+          ~name:(String.sub name plen (String.length name - plen))
+          (Obs.Report.op_summary_of_histogram h))
+    (Obs.Metrics.histograms metrics);
+  (* The per-class message counters are already structured above; keep the
+     counters section to the scalar diagnostics. *)
+  Obs.Report.set_counters report
+    (List.filter
+       (fun (name, _) ->
+         not
+           (String.length name >= 4 && String.equal (String.sub name 0 4) "msg."))
+       (Obs.Metrics.counters metrics))
+
+let observe report (scn : Scenario.t) =
+  observe_params report (Registers.Net.params scn.net);
+  observe_metrics report (Scenario.metrics scn)
+
+let observe_trace report (trace : Sim.Trace.t) =
+  observe_metrics report (Sim.Trace.metrics trace)

@@ -1,0 +1,25 @@
+(** Filling an {!Obs.Report} from a deployment's metrics registry.
+
+    Drivers call {!observe} once per run (typically on the first
+    configuration they execute): it copies the system parameters, the
+    per-message-class traffic counters ([msg.sent.*] / [msg.recv.*]),
+    every populated ["op.<reg>.<op>"] latency histogram, and the scalar
+    counters into the report.  Calling it twice on the same report would
+    duplicate the message/op sections, so the caller gates it. *)
+
+val mode_string : Registers.Params.t -> string
+(** ["async"] or ["sync"]. *)
+
+val observe_params : Obs.Report.t -> Registers.Params.t -> unit
+(** Set [params] from the model parameters; first call wins. *)
+
+val observe_metrics : Obs.Report.t -> Obs.Metrics.t -> unit
+(** Copy message classes, op summaries and counters from a raw registry
+    (for drivers without a {!Scenario}). *)
+
+val observe : Obs.Report.t -> Scenario.t -> unit
+(** {!observe_params} + {!observe_metrics} for a scenario. *)
+
+val observe_trace : Obs.Report.t -> Sim.Trace.t -> unit
+(** {!observe_metrics} on a trace's registry (for drivers that only hand
+    back a [Sim.Trace.t]). *)

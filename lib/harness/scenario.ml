@@ -118,6 +118,10 @@ let record t ~proc ~kind ?ts f =
       Registers.Value.bot);
   result
 
+let metrics t = Sim.Engine.metrics t.engine
+
+let hub t = Sim.Engine.hub t.engine
+
 let messages_sent t = Sim.Trace.counter (Sim.Engine.trace t.engine) "net.msgs"
 
 let broadcasts t =

@@ -65,6 +65,13 @@ val record :
     history; a [None] result is recorded as a failed ([ok = false]) read of
     [Bot].  Returns the operation's result. *)
 
+val metrics : t -> Obs.Metrics.t
+(** The engine's metrics registry (counters, histograms). *)
+
+val hub : t -> Obs.Hub.t
+(** The engine's typed-event hub; attach sinks here to capture the
+    deployment's event stream. *)
+
 val messages_sent : t -> int
 (** Engine-wide delivered-message count (trace counter ["net.msgs"]). *)
 

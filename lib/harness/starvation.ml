@@ -2,6 +2,8 @@ type outcome = {
   starved : bool;
   rounds_used : int;
   returned : Registers.Value.t option;
+  params : Registers.Params.t;
+  trace : Sim.Trace.t;
 }
 
 let predicted_starvation ~n ~f ~sync =
@@ -59,7 +61,7 @@ let build_link_delay ~n ~f ~sync =
       else scripted [] 1
     end
 
-let run ~n ~f ?(sync = false) ?(budget = 6) () =
+let run ~n ~f ?(sync = false) ?(budget = 6) ?(instrument = fun _ -> ()) () =
   if f < 1 || n <= 2 * f then invalid_arg "Starvation.run: need n > 2f >= 2";
   let params =
     if sync then
@@ -68,7 +70,9 @@ let run ~n ~f ?(sync = false) ?(budget = 6) () =
     else Registers.Params.create_unchecked ~n ~f ~mode:Registers.Params.Async
   in
   let rng = Sim.Rng.create 1 in
-  let engine = Sim.Engine.create ~rng () in
+  let trace = Sim.Trace.create ~record_events:false () in
+  let engine = Sim.Engine.create ~trace ~rng () in
+  instrument engine;
   let net =
     Registers.Net.create ~engine ~params
       ~link_delay:(build_link_delay ~n ~f ~sync) ()
@@ -98,4 +102,6 @@ let run ~n ~f ?(sync = false) ?(budget = 6) () =
     starved = !returned = None;
     rounds_used = Registers.Swsr_regular.reader_iterations r;
     returned = !returned;
+    params;
+    trace;
   }

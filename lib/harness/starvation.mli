@@ -24,12 +24,23 @@ type outcome = {
   starved : bool;  (** every read round in the budget failed *)
   rounds_used : int;
   returned : Registers.Value.t option;  (** the value, when not starved *)
+  params : Registers.Params.t;
+  trace : Sim.Trace.t;  (** the run's trace/metrics, for run reports *)
 }
 
-val run : n:int -> f:int -> ?sync:bool -> ?budget:int -> unit -> outcome
+val run :
+  n:int ->
+  f:int ->
+  ?sync:bool ->
+  ?budget:int ->
+  ?instrument:(Sim.Engine.t -> unit) ->
+  unit ->
+  outcome
 (** Run the scripted schedule on a fresh deployment ([budget] read rounds,
     default 6).  [sync] (default false) uses the Fig. 5 thresholds with
-    timeout-based waits.  Requires [n > 2f >= 2]. *)
+    timeout-based waits.  [instrument] is called on the freshly built
+    engine before the schedule runs — the hook for attaching event
+    sinks.  Requires [n > 2f >= 2]. *)
 
 val predicted_starvation : n:int -> f:int -> sync:bool -> bool
 (** The closed-form prediction above, for cross-checking experiment

@@ -12,7 +12,12 @@ let config ~keys ~clients =
   if clients <= 0 then invalid_arg "Kv.config: need at least one client";
   { keys; clients; base_inst = 0; seq_bound = 1 lsl 61 }
 
-type t = { cfg : config; registers : (string * Registers.Mwmr.process) list }
+type t = {
+  cfg : config;
+  registers : (string * Registers.Mwmr.process) list;
+  wprobe : Registers.Instr.probe;
+  rprobe : Registers.Instr.probe;
+}
 
 let client ~net ~cfg ~id ~client_id =
   (* Each key's MWMR register occupies a disjoint instance range of size
@@ -31,16 +36,30 @@ let client ~net ~cfg ~id ~client_id =
         (key, Registers.Mwmr.process ~net ~cfg:mwmr_cfg ~id ~client_id))
       cfg.keys
   in
-  { cfg; registers }
+  let engine = Registers.Net.engine net in
+  let proc = Printf.sprintf "c%d" client_id in
+  {
+    cfg;
+    registers;
+    wprobe = Registers.Instr.probe ~engine ~proc ~reg:"kv" `Write;
+    rprobe = Registers.Instr.probe ~engine ~proc ~reg:"kv" `Read;
+  }
 
 let register t key =
   match List.assoc_opt key t.registers with
   | Some r -> r
   | None -> raise Not_found
 
-let set t ~key v = Registers.Mwmr.write (register t key) v
+let set t ~key v =
+  let span = Registers.Instr.start t.wprobe in
+  Registers.Mwmr.write (register t key) v;
+  Registers.Instr.finish t.wprobe span
 
-let get t ~key = Registers.Mwmr.read (register t key)
+let get t ~key =
+  let span = Registers.Instr.start t.rprobe in
+  let result = Registers.Mwmr.read (register t key) in
+  Registers.Instr.finish ~ok:(result <> None) t.rprobe span;
+  result
 
 let keys t = t.cfg.keys
 

@@ -1,0 +1,32 @@
+type t = {
+  mutable sinks : Sink.t list;
+  mutable active : bool;
+  mutable next_op : int;
+}
+
+let create () = { sinks = []; active = false; next_op = 0 }
+
+let active t = t.active
+
+let attach t sink =
+  t.sinks <- t.sinks @ [ sink ];
+  t.active <- true
+
+let detach t name =
+  t.sinks <- List.filter (fun (s : Sink.t) -> not (String.equal s.name name)) t.sinks;
+  t.active <- t.sinks <> []
+
+let emit t event =
+  if t.active then List.iter (fun (s : Sink.t) -> s.emit event) t.sinks
+
+let emit_with t mk =
+  if t.active then
+    let event = mk () in
+    List.iter (fun (s : Sink.t) -> s.emit event) t.sinks
+
+let next_op_id t =
+  let id = t.next_op in
+  t.next_op <- id + 1;
+  id
+
+let flush t = List.iter (fun (s : Sink.t) -> s.flush ()) t.sinks

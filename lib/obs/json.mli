@@ -1,0 +1,48 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability layer serializes traces, metrics and run reports
+    without adding a dependency on an external JSON package; the parser
+    exists so tests (and the [validate] subcommand) can round-trip what
+    the serializers emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Non-finite floats render as [null]; integral
+    floats keep a [".0"] marker so printing and re-parsing preserves the
+    Int/Float distinction. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for report files meant to be diffed. *)
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** Raises {!Parse_error}. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts both [Float] and [Int]. *)
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option
+
+val to_obj_opt : t -> (string * t) list option
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

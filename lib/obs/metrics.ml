@@ -1,0 +1,185 @@
+(* --- log-bucketed histograms --- *)
+
+(* Bucket 0 holds [0, 1); bucket i >= 1 holds [2^((i-1)/4), 2^(i/4)) —
+   four buckets per doubling, so a quantile estimate is within ~19% of
+   the true value.  min/max/sum are tracked exactly. *)
+
+let num_buckets = 256
+
+let buckets_per_doubling = 4
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+let histogram_create () =
+  {
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    buckets = Array.make num_buckets 0;
+  }
+
+let pow_quarter j =
+  Float.pow 2.0 (float_of_int j /. float_of_int buckets_per_doubling)
+
+let bucket_index v =
+  if not (Float.is_finite v) || v < 1.0 then 0
+  else
+    let i =
+      1
+      + int_of_float
+          (Float.floor (Float.log2 v *. float_of_int buckets_per_doubling))
+    in
+    let i = Stdlib.min i (num_buckets - 1) in
+    (* log2 rounding can misplace an exact bucket bound by one; settle
+       against the same powers bucket_bounds reports. *)
+    if i < num_buckets - 1 && v >= pow_quarter i then i + 1
+    else if v < pow_quarter (i - 1) then i - 1
+    else i
+
+let bucket_bounds i =
+  if i <= 0 then (0.0, 1.0)
+  else
+    let hi = if i >= num_buckets - 1 then infinity else pow_quarter i in
+    (pow_quarter (i - 1), hi)
+
+let observe h v =
+  let v = Stdlib.max v 0.0 in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let hist_count h = h.count
+
+let hist_sum h = h.sum
+
+let hist_min h = if h.count = 0 then 0.0 else h.min_v
+
+let hist_max h = if h.count = 0 then 0.0 else h.max_v
+
+let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let quantile h q =
+  if h.count = 0 then 0.0
+  else if q <= 0.0 then h.min_v
+  else if q >= 1.0 then h.max_v
+  else begin
+    (* 1-based rank, same convention as Harness.Metrics.percentile. *)
+    let rank =
+      Stdlib.max 1
+        (int_of_float (Float.ceil (q *. float_of_int h.count)))
+    in
+    let result = ref h.max_v in
+    let cum = ref 0 in
+    (try
+       for i = 0 to num_buckets - 1 do
+         let n = h.buckets.(i) in
+         if n > 0 then begin
+           cum := !cum + n;
+           if !cum >= rank then begin
+             let lo, hi = bucket_bounds i in
+             let hi = if Float.is_finite hi then hi else h.max_v in
+             let frac =
+               float_of_int (rank - (!cum - n)) /. float_of_int n
+             in
+             result := lo +. (frac *. (hi -. lo));
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    Stdlib.min (Stdlib.max !result h.min_v) h.max_v
+  end
+
+(* --- registry --- *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  hists : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+  }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let add t name n =
+  let r = counter_ref t name in
+  r := !r + n
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_counters t = Hashtbl.reset t.counters
+
+let set_gauge t name v = Hashtbl.replace t.gauges name v
+
+let gauge t name = Hashtbl.find_opt t.gauges name
+
+let gauges t =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = histogram_create () in
+    Hashtbl.add t.hists name h;
+    h
+
+let observe_named t name v = observe (histogram t name) v
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let hist_to_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("mean", Json.Float (hist_mean h));
+      ("min", Json.Float (hist_min h));
+      ("p50", Json.Float (quantile h 0.5));
+      ("p95", Json.Float (quantile h 0.95));
+      ("p99", Json.Float (quantile h 0.99));
+      ("max", Json.Float (hist_max h));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges t)) );
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) (histograms t))
+      );
+    ]

@@ -1,0 +1,82 @@
+(** The metrics registry: named counters, gauges, and log-bucketed
+    latency histograms.
+
+    One registry lives next to each engine (via [Sim.Trace]); protocol
+    and substrate code bump counters and observe latencies, run reports
+    serialize the registry.  Counters are plain [int ref]s — hot paths
+    can resolve {!counter_ref} once and skip the name lookup. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val observe : histogram -> float -> unit
+(** Record one sample (negative samples clamp to 0). *)
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_min : histogram -> float
+
+val hist_max : histogram -> float
+(** Exact extremes (0 on an empty histogram). *)
+
+val hist_mean : histogram -> float
+
+val quantile : histogram -> float -> float
+(** Estimated quantile by linear interpolation inside the containing log
+    bucket; exact at [q <= 0] (min) and [q >= 1] (max); within one
+    bucket's relative width (~19%) otherwise.  0 on an empty
+    histogram. *)
+
+val bucket_index : float -> int
+(** Bucket 0 holds [0, 1); bucket [i >= 1] holds
+    [2^((i-1)/4), 2^(i/4)) — four buckets per doubling.  Exposed for the
+    boundary tests. *)
+
+val bucket_bounds : int -> float * float
+(** Inclusive-lo/exclusive-hi bounds of a bucket; the last bucket's hi is
+    [infinity]. *)
+
+val num_buckets : int
+
+val hist_to_json : histogram -> Json.t
+(** [{count, mean, min, p50, p95, p99, max}]. *)
+
+(** {1 Registry} *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val counter : t -> string -> int
+(** 0 if never bumped. *)
+
+val counter_ref : t -> string -> int ref
+(** Find-or-create; the returned ref stays valid until
+    {!reset_counters}. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val reset_counters : t -> unit
+
+val set_gauge : t -> string -> float -> unit
+
+val gauge : t -> string -> float option
+
+val gauges : t -> (string * float) list
+
+val histogram : t -> string -> histogram
+(** Find-or-create. *)
+
+val observe_named : t -> string -> float -> unit
+
+val histograms : t -> (string * histogram) list
+
+val to_json : t -> Json.t

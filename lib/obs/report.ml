@@ -1,0 +1,250 @@
+let schema_version = "stabreg/run-report/v1"
+
+type op_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+type msg_stats = { sent : int; recv : int; bytes : int }
+
+type t = {
+  experiment : string;
+  seed : int;
+  mutable params : (int * int * string) option;
+  mutable messages : (string * msg_stats) list; (* insertion order *)
+  mutable ops : (string * op_summary) list;
+  mutable stabilization : int option;
+  mutable counters : (string * int) list;
+  mutable extra : (string * Json.t) list;
+}
+
+let create ~experiment ~seed =
+  {
+    experiment;
+    seed;
+    params = None;
+    messages = [];
+    ops = [];
+    stabilization = None;
+    counters = [];
+    extra = [];
+  }
+
+let experiment t = t.experiment
+
+let set_params t ~n ~f ~mode = t.params <- Some (n, f, mode)
+
+let has_params t = t.params <> None
+
+let set_stabilization t ticks = t.stabilization <- Some ticks
+
+let add_message_class t ~name ~sent ~recv ~bytes =
+  t.messages <- t.messages @ [ (name, { sent; recv; bytes }) ]
+
+let add_op_summary t ~name s = t.ops <- t.ops @ [ (name, s) ]
+
+let op_summary_of_histogram h =
+  {
+    count = Metrics.hist_count h;
+    mean = Metrics.hist_mean h;
+    min = Metrics.hist_min h;
+    p50 = Metrics.quantile h 0.5;
+    p95 = Metrics.quantile h 0.95;
+    p99 = Metrics.quantile h 0.99;
+    max = Metrics.hist_max h;
+  }
+
+let set_counters t cs = t.counters <- cs
+
+let add_extra t key v = t.extra <- t.extra @ [ (key, v) ]
+
+let op_summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float s.mean);
+      ("min", Json.Float s.min);
+      ("p50", Json.Float s.p50);
+      ("p95", Json.Float s.p95);
+      ("p99", Json.Float s.p99);
+      ("max", Json.Float s.max);
+    ]
+
+let to_json t =
+  let n, f, mode =
+    match t.params with Some p -> p | None -> (0, 0, "unset")
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("experiment", Json.Str t.experiment);
+      ("seed", Json.Int t.seed);
+      ( "params",
+        Json.Obj
+          [ ("n", Json.Int n); ("f", Json.Int f); ("mode", Json.Str mode) ] );
+      ( "messages",
+        Json.Obj
+          (List.map
+             (fun (name, (m : msg_stats)) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("sent", Json.Int m.sent);
+                     ("recv", Json.Int m.recv);
+                     ("bytes", Json.Int m.bytes);
+                   ] ))
+             t.messages) );
+      ( "ops",
+        Json.Obj
+          (List.map (fun (name, s) -> (name, op_summary_to_json s)) t.ops) );
+      ( "stabilization_time",
+        match t.stabilization with Some d -> Json.Int d | None -> Json.Null );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters) );
+      ("extra", Json.Obj t.extra);
+    ]
+
+(* --- schema validation --- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field ctx key j =
+  match Json.member key j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" ctx key)
+
+let as_int ctx j =
+  match Json.to_int_opt j with
+  | Some i -> Ok i
+  | None -> Error (ctx ^ ": expected an integer")
+
+let as_float ctx j =
+  match Json.to_float_opt j with
+  | Some x -> Ok x
+  | None -> Error (ctx ^ ": expected a number")
+
+let as_string ctx j =
+  match Json.to_string_opt j with
+  | Some s -> Ok s
+  | None -> Error (ctx ^ ": expected a string")
+
+let as_obj ctx j =
+  match Json.to_obj_opt j with
+  | Some fields -> Ok fields
+  | None -> Error (ctx ^ ": expected an object")
+
+let validate_op_summary ctx j =
+  let* _ = as_obj ctx j in
+  let* count = field ctx "count" j in
+  let* _ = as_int (ctx ^ ".count") count in
+  let check_stat acc key =
+    let* () = acc in
+    let* v = field ctx key j in
+    let* _ = as_float (ctx ^ "." ^ key) v in
+    Ok ()
+  in
+  List.fold_left check_stat (Ok ()) [ "mean"; "min"; "p50"; "p95"; "p99"; "max" ]
+
+let validate_msg_stats ctx j =
+  let* _ = as_obj ctx j in
+  let check acc key =
+    let* () = acc in
+    let* v = field ctx key j in
+    let* _ = as_int (ctx ^ "." ^ key) v in
+    Ok ()
+  in
+  List.fold_left check (Ok ()) [ "sent"; "recv"; "bytes" ]
+
+let validate j =
+  let* _ = as_obj "report" j in
+  let* schema = field "report" "schema" j in
+  let* schema = as_string "schema" schema in
+  let* () =
+    if String.equal schema schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema mismatch: got %S, want %S" schema
+           schema_version)
+  in
+  let* experiment = field "report" "experiment" j in
+  let* _ = as_string "experiment" experiment in
+  let* seed = field "report" "seed" j in
+  let* _ = as_int "seed" seed in
+  let* params = field "report" "params" j in
+  let* _ = as_obj "params" params in
+  let* n = field "params" "n" params in
+  let* _ = as_int "params.n" n in
+  let* f = field "params" "f" params in
+  let* _ = as_int "params.f" f in
+  let* mode = field "params" "mode" params in
+  let* _ = as_string "params.mode" mode in
+  let* messages = field "report" "messages" j in
+  let* message_fields = as_obj "messages" messages in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        validate_msg_stats ("messages." ^ name) v)
+      (Ok ()) message_fields
+  in
+  let* ops = field "report" "ops" j in
+  let* op_fields = as_obj "ops" ops in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        validate_op_summary ("ops." ^ name) v)
+      (Ok ()) op_fields
+  in
+  let* stab = field "report" "stabilization_time" j in
+  let* () =
+    match stab with
+    | Json.Null | Json.Int _ -> Ok ()
+    | _ -> Error "stabilization_time: expected null or an integer"
+  in
+  let* counters = field "report" "counters" j in
+  let* counter_fields = as_obj "counters" counters in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        let* _ = as_int ("counters." ^ name) v in
+        Ok ())
+      (Ok ()) counter_fields
+  in
+  Ok ()
+
+(* --- file output --- *)
+
+let mkdir_p dir =
+  let parts = String.split_on_char '/' dir in
+  ignore
+    (List.fold_left
+       (fun prefix part ->
+         if String.equal part "" then
+           if String.equal prefix "" then "/" else prefix
+         else begin
+           let path =
+             if String.equal prefix "" then part
+             else if String.equal prefix "/" then "/" ^ part
+             else prefix ^ "/" ^ part
+           in
+           (if not (Sys.file_exists path) then
+              try Sys.mkdir path 0o755 with Sys_error _ -> ());
+           path
+         end)
+       "" parts)
+
+let write ~dir t =
+  mkdir_p dir;
+  let path = Filename.concat dir (t.experiment ^ ".json") in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (to_json t));
+  output_char oc '\n';
+  close_out oc;
+  path

@@ -1,0 +1,59 @@
+(** Machine-readable per-run reports with a stable schema.
+
+    Every experiment driver emits one of these (as [results/<exp>.json])
+    when run with [--json]; the schema is versioned so reports from
+    different commits can be diffed mechanically.  See EXPERIMENTS.md for
+    the field-by-field description. *)
+
+val schema_version : string
+
+type op_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+type t
+
+val create : experiment:string -> seed:int -> t
+
+val experiment : t -> string
+
+val set_params : t -> n:int -> f:int -> mode:string -> unit
+
+val has_params : t -> bool
+
+val set_stabilization : t -> int -> unit
+(** Stabilization delay in ticks; never calling this serializes as
+    [null]. *)
+
+val add_message_class :
+  t -> name:string -> sent:int -> recv:int -> bytes:int -> unit
+
+val add_op_summary : t -> name:string -> op_summary -> unit
+
+val op_summary_of_histogram : Metrics.histogram -> op_summary
+
+val set_counters : t -> (string * int) list -> unit
+
+val add_extra : t -> string -> Json.t -> unit
+(** Free-form driver-specific payload under the ["extra"] key; not
+    schema-checked beyond being an object member. *)
+
+val to_json : t -> Json.t
+
+val validate : Json.t -> (unit, string) result
+(** Structural check of the versioned schema: required fields, their
+    types, and the exact [schema] string. *)
+
+val mkdir_p : string -> unit
+(** [mkdir -p]: create the directory and any missing parents; existing
+    components are left alone. *)
+
+val write : dir:string -> t -> string
+(** Write [<dir>/<experiment>.json] (pretty-printed), creating [dir] if
+    needed; returns the path. *)

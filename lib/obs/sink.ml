@@ -1,0 +1,13 @@
+type t = { name : string; emit : Event.t -> unit; flush : unit -> unit }
+
+let make ?(flush = fun () -> ()) ~name emit = { name; emit; flush }
+
+let memory ?(name = "memory") () =
+  let events_rev = ref [] in
+  let sink = make ~name (fun e -> events_rev := e :: !events_rev) in
+  (sink, fun () -> List.rev !events_rev)
+
+let jsonl ?(name = "jsonl") ?flush writer =
+  make ?flush ~name (fun e ->
+      writer (Json.to_string (Event.to_json e));
+      writer "\n")

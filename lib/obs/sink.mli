@@ -1,0 +1,16 @@
+(** Pluggable event consumers.
+
+    A sink is just a named callback; the {!Hub} fans events out to every
+    attached sink and short-circuits entirely when none is attached. *)
+
+type t = { name : string; emit : Event.t -> unit; flush : unit -> unit }
+
+val make : ?flush:(unit -> unit) -> name:string -> (Event.t -> unit) -> t
+
+val memory : ?name:string -> unit -> t * (unit -> Event.t list)
+(** An in-memory collector; the second component returns the events
+    recorded so far, oldest first. *)
+
+val jsonl : ?name:string -> ?flush:(unit -> unit) -> (string -> unit) -> t
+(** Serializes each event as one JSON line (newline included) through the
+    given writer — typically [output_string oc]. *)

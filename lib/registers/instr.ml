@@ -1,0 +1,47 @@
+type probe = {
+  engine : Sim.Engine.t;
+  proc : string;
+  reg : string;
+  op : Obs.Event.op_kind;
+  hist : Obs.Metrics.histogram;
+}
+
+type span = { id : int; t0 : Sim.Vtime.t }
+
+let probe ~engine ~proc ~reg op =
+  {
+    engine;
+    proc;
+    reg;
+    op;
+    hist =
+      Obs.Metrics.histogram
+        (Sim.Engine.metrics engine)
+        (Printf.sprintf "op.%s.%s" reg (Obs.Event.op_name op));
+  }
+
+let start p =
+  let hub = Sim.Engine.hub p.engine in
+  let id = Obs.Hub.next_op_id hub in
+  let t0 = Sim.Engine.now p.engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Op_invoke
+         { time = Sim.Vtime.to_int t0; id; proc = p.proc; reg = p.reg; op = p.op });
+  { id; t0 }
+
+let finish ?(ok = true) p span =
+  let now = Sim.Engine.now p.engine in
+  Obs.Metrics.observe p.hist (float_of_int (Sim.Vtime.diff now span.t0));
+  let hub = Sim.Engine.hub p.engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Op_return
+         {
+           time = Sim.Vtime.to_int now;
+           id = span.id;
+           proc = p.proc;
+           reg = p.reg;
+           op = p.op;
+           ok;
+         })

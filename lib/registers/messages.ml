@@ -36,5 +36,32 @@ let pp_to_client ppf = function
   | Ack_read (c, h) ->
     Format.fprintf ppf "ACK_READ(%a,%a)" pp_cell c pp_help h
 
+let class_of_to_server : to_server -> Obs.Event.msg_class = function
+  | Write _ -> Obs.Event.Write
+  | New_help _ -> Obs.Event.New_help
+  | Read _ -> Obs.Event.Read
+
+let class_of_to_client : to_client -> Obs.Event.msg_class = function
+  | Ack_write _ -> Obs.Event.Ack_write
+  | Ack_read _ -> Obs.Event.Ack_read
+
+let cell_bytes c = 8 + Value.wire_bytes c.v
+
+let help_bytes = function None -> 1 | Some c -> 1 + cell_bytes c
+
+(* 1-byte constructor tag + payload; envelope headers count their integer
+   fields at 4 bytes each. *)
+let to_server_bytes = function
+  | Write c | New_help c -> 1 + cell_bytes c
+  | Read _ -> 2
+
+let to_client_bytes = function
+  | Ack_write h -> 1 + help_bytes h
+  | Ack_read (c, h) -> 1 + cell_bytes c + help_bytes h
+
+let server_envelope_bytes (env : server_envelope) = 12 + to_server_bytes env.body
+
+let client_envelope_bytes (env : client_envelope) = 8 + to_client_bytes env.body
+
 let arbitrary_cell rng =
   { sn = Sim.Rng.int rng 1024; v = Value.arbitrary rng }

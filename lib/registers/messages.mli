@@ -44,6 +44,17 @@ type server_envelope = {
 
 type client_envelope = { round : int; server : int; body : to_client }
 
+val class_of_to_server : to_server -> Obs.Event.msg_class
+
+val class_of_to_client : to_client -> Obs.Event.msg_class
+
+val server_envelope_bytes : server_envelope -> int
+(** Serialized-size estimate (header fields at 4 bytes each, 1-byte
+    constructor tags, {!Value.wire_bytes} payloads) for traffic
+    accounting. *)
+
+val client_envelope_bytes : client_envelope -> int
+
 val pp_cell : Format.formatter -> cell -> unit
 
 val pp_to_server : Format.formatter -> to_server -> unit

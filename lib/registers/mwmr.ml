@@ -24,6 +24,8 @@ type process = {
   cfg : config;
   own : Swmr.writer;
   views : Swmr.reader array;
+  wprobe : Instr.probe;
+  rprobe : Instr.probe;
   mutable last_ts : (Epoch.t * int) option;
   mutable epochs_opened : int;
   mutable restamps_rev : (Value.t * Epoch.t * int) list;
@@ -31,6 +33,8 @@ type process = {
 
 let process ~net ~cfg ~id ~client_id =
   if id < 0 || id >= cfg.m then invalid_arg "Mwmr.process: id out of range";
+  let proc = Printf.sprintf "c%d" client_id in
+  let engine = Net.engine net in
   let own =
     Swmr.writer ~net ~client_id
       ~base_inst:(cfg.base_inst + (id * cfg.m))
@@ -42,7 +46,17 @@ let process ~net ~cfg ~id ~client_id =
           ~base_inst:(cfg.base_inst + (j * cfg.m))
           ~reader_index:id ~modulus:cfg.modulus ())
   in
-  { id; cfg; own; views; last_ts = None; epochs_opened = 0; restamps_rev = [] }
+  {
+    id;
+    cfg;
+    own;
+    views;
+    wprobe = Instr.probe ~engine ~proc ~reg:"mwmr" `Write;
+    rprobe = Instr.probe ~engine ~proc ~reg:"mwmr" `Read;
+    last_ts = None;
+    epochs_opened = 0;
+    restamps_rev = [];
+  }
 
 (* A value read back from an underlying SWMR register is expected to be a
    (data, epoch, seq) triple; anything else is debris from corruption or an
@@ -97,6 +111,7 @@ let frontier views =
     Some (me, seq_max, holders)
 
 let write p v =
+  let span = Instr.start p.wprobe in
   let views = read_views p in
   if must_open_epoch p views then begin
     let ne = Epoch.next_epoch ~k:(epoch_k p.cfg) (view_epochs views) in
@@ -109,7 +124,8 @@ let write p v =
     let ts_seq = seq_max + 1 in
     p.last_ts <- Some (me, ts_seq);
     (* line 07 *)
-    Swmr.write p.own (Value.stamped ~data:v ~epoch:me ~seq:ts_seq)
+    Swmr.write p.own (Value.stamped ~data:v ~epoch:me ~seq:ts_seq);
+    Instr.finish p.wprobe span
 
 let pick_return p (_me, seq_max, holders) =
   let candidates = List.filter (fun (_, _, _, s) -> s = seq_max) holders in
@@ -123,6 +139,7 @@ let pick_return p (_me, seq_max, holders) =
   | None -> (0, Value.bot) (* unreachable: holders is non-empty *)
 
 let read_timestamped ?max_iterations p =
+  let span = Instr.start p.rprobe in
   let views = read_views ?max_iterations p in
   if must_open_epoch p views then begin
     (* Line 11: restamp our own current value into a fresh epoch. *)
@@ -134,9 +151,12 @@ let read_timestamped ?max_iterations p =
     Swmr.write p.own (Value.stamped ~data:own_v ~epoch:ne ~seq:0)
   end;
   match frontier views with
-  | None -> None
+  | None ->
+    Instr.finish ~ok:false p.rprobe span;
+    None
   | Some ((me, seq_max, _) as fr) ->
     let j, v = pick_return p fr in
+    Instr.finish p.rprobe span;
     Some (v, me, seq_max, j)
 
 let read ?max_iterations p =

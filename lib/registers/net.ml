@@ -28,10 +28,24 @@ type t = {
   mutable correct : int -> bool;
   mutable ports : (int * client_port) list;
   link_delay : Sim.Rng.t -> Sim.Link.sampler;
+  (* Per-message-class traffic accounting, indexed by
+     [Obs.Event.class_index]; the refs are resolved once here so the send
+     path never hashes a counter name. *)
+  sent_count : int ref array;
+  sent_bytes : int ref array;
+  recv_count : int ref array;
 }
+
+let per_class_counters metrics ~dir ~suffix =
+  Obs.Event.all_classes
+  |> List.map (fun c ->
+         Obs.Metrics.counter_ref metrics
+           (Printf.sprintf "msg.%s.%s.%s" dir (Obs.Event.class_name c) suffix))
+  |> Array.of_list
 
 let create ~engine ~params ?(medium = Reliable_fifo) ~link_delay () =
   let n = (params : Params.t).n in
+  let metrics = Sim.Engine.metrics engine in
   {
     engine;
     params;
@@ -40,7 +54,40 @@ let create ~engine ~params ?(medium = Reliable_fifo) ~link_delay () =
     correct = (fun _ -> true);
     ports = [];
     link_delay;
+    sent_count = per_class_counters metrics ~dir:"sent" ~suffix:"count";
+    sent_bytes = per_class_counters metrics ~dir:"sent" ~suffix:"bytes";
+    recv_count = per_class_counters metrics ~dir:"recv" ~suffix:"count";
   }
+
+let record_send t ~src ~dst cls bytes =
+  let i = Obs.Event.class_index cls in
+  incr t.sent_count.(i);
+  (t.sent_bytes.(i) := !(t.sent_bytes.(i)) + bytes);
+  let hub = Sim.Engine.hub t.engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Send
+         {
+           time = Sim.Vtime.to_int (Sim.Engine.now t.engine);
+           src;
+           dst;
+           cls;
+           bytes;
+         })
+
+let record_recv t ~src ~dst cls bytes =
+  incr t.recv_count.(Obs.Event.class_index cls);
+  let hub = Sim.Engine.hub t.engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Recv
+         {
+           time = Sim.Vtime.to_int (Sim.Engine.now t.engine);
+           src;
+           dst;
+           cls;
+           bytes;
+         })
 
 let engine t = t.engine
 
@@ -74,7 +121,13 @@ let add_client t ~id =
           Array.init n (fun s ->
               Sim.Link.create ~engine:t.engine ~delay:(mk_sampler ())
                 ~name:(Printf.sprintf "s%d->c%d" s id)
-                ~deliver:(fun env -> Sim.Mailbox.push mailbox env))
+                ~deliver:(fun env ->
+                  record_recv t
+                    ~src:(Obs.Event.Server env.Messages.server)
+                    ~dst:(Obs.Event.Client id)
+                    (Messages.class_of_to_client env.Messages.body)
+                    (Messages.client_envelope_bytes env);
+                  Sim.Mailbox.push mailbox env))
         in
         {
           client_id = id;
@@ -90,6 +143,8 @@ let add_client t ~id =
           Array.init n (fun s ->
               Ss_transport.create ~engine:t.engine ~rng:(rng ())
                 ~delay:(mk_sampler ()) ~loss ~dup ~retrans
+                ~classify:(fun (env : Messages.server_envelope) ->
+                  Messages.class_of_to_server env.body)
                 ~name:(Printf.sprintf "c%d=>s%d" id s)
                 ~deliver:(fun env -> t.endpoints.(s).on_deliver env)
                 ())
@@ -98,8 +153,16 @@ let add_client t ~id =
           Array.init n (fun s ->
               Ss_transport.create ~engine:t.engine ~rng:(rng ())
                 ~delay:(mk_sampler ()) ~loss ~dup ~retrans
+                ~classify:(fun (env : Messages.client_envelope) ->
+                  Messages.class_of_to_client env.body)
                 ~name:(Printf.sprintf "s%d=>c%d" s id)
-                ~deliver:(fun env -> Sim.Mailbox.push mailbox env)
+                ~deliver:(fun env ->
+                  record_recv t
+                    ~src:(Obs.Event.Server env.Messages.server)
+                    ~dst:(Obs.Event.Client id)
+                    (Messages.class_of_to_client env.Messages.body)
+                    (Messages.client_envelope_bytes env);
+                  Sim.Mailbox.push mailbox env)
                 ())
         in
         {
@@ -122,6 +185,11 @@ let reply t ~server ~client body ~round =
   | None -> ()
   | Some port -> (
     let env = { Messages.round; server; body } in
+    record_send t
+      ~src:(Obs.Event.Server server)
+      ~dst:(Obs.Event.Client client)
+      (Messages.class_of_to_client body)
+      (Messages.client_envelope_bytes env);
     match port.transport with
     | Direct -> Sim.Link.send port.from_servers.(server) env
     | Lossy { reply_senders; _ } ->
@@ -131,6 +199,11 @@ let install_honest_server t srv =
   let s = Server.id srv in
   t.endpoints.(s).on_deliver <-
     (fun env ->
+      record_recv t
+        ~src:(Obs.Event.Client env.Messages.client)
+        ~dst:(Obs.Event.Server s)
+        (Messages.class_of_to_server env.Messages.body)
+        (Messages.server_envelope_bytes env);
       Sim.Trace.emit_lazy
         (Sim.Engine.trace t.engine)
         ~time:(Sim.Engine.now t.engine) ~tag:"ss-deliver" (fun () ->
@@ -158,6 +231,13 @@ let ss_broadcast t port ~inst body =
   let env =
     { Messages.round = port.round; client = port.client_id; inst; body }
   in
+  let cls = Messages.class_of_to_server body in
+  let env_bytes = Messages.server_envelope_bytes env in
+  for s = 0 to t.params.Params.n - 1 do
+    record_send t
+      ~src:(Obs.Event.Client port.client_id)
+      ~dst:(Obs.Event.Server s) cls env_bytes
+  done;
   (* Synchronized delivery: the invocation spans the first (n - 2t) correct
      deliveries.  If the adversary corrupts more than t servers (tightness
      experiments), fall back to the last correct delivery so the broadcast

@@ -12,6 +12,7 @@ type 'm t = {
   mutable tag : int;
   mutable timer_armed : bool;
   mutable sent : int;
+  retrans_ctr : int ref;
   (* receiver state *)
   mutable last_tag : int;
   mutable stale_tag : int;
@@ -28,6 +29,7 @@ let rec arm_timer t =
         t.timer_armed <- false;
         match t.current with
         | Some _ ->
+          incr t.retrans_ctr;
           xmit t;
           arm_timer t
         | None -> ())
@@ -113,9 +115,14 @@ let on_packet t ~deliver (pkt : 'm packet) =
   end
 
 let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?(retrans = 25)
-    ?(tag_space = 1024) ~name ~deliver () =
+    ?(tag_space = 1024) ?classify ~name ~deliver () =
   if retrans <= 0 then invalid_arg "Ss_transport.create: retrans must be positive";
   if tag_space < 8 then invalid_arg "Ss_transport.create: tag space too small";
+  let classify_pkt =
+    match classify with
+    | Some f -> Some (fun pkt -> f pkt.body)
+    | None -> None
+  in
   let rec t =
     lazy
       {
@@ -124,7 +131,7 @@ let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?(retrans = 25)
         tag_space;
         data =
           Sim.Lossy_link.create ~engine ~rng:(Sim.Rng.split rng)
-            ~delay ~loss ~dup ~name:(name ^ ".data")
+            ~delay ~loss ~dup ?classify:classify_pkt ~name:(name ^ ".data")
             ~deliver:(fun pkt -> on_packet (Lazy.force t) ~deliver pkt)
             ();
         acks = None;
@@ -133,6 +140,9 @@ let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?(retrans = 25)
         tag = 0;
         timer_armed = false;
         sent = 0;
+        retrans_ctr =
+          Obs.Metrics.counter_ref (Sim.Engine.metrics engine)
+            "transport.retrans";
         last_tag = 0;
         stale_tag = -1;
         stale_streak = 0;
@@ -143,7 +153,9 @@ let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?(retrans = 25)
   t.acks <-
     Some
       (Sim.Lossy_link.create ~engine ~rng:(Sim.Rng.split rng) ~delay ~loss
-         ~dup ~name:(name ^ ".ack")
+         ~dup
+         ~classify:(fun _ -> Obs.Event.Link_ack)
+         ~name:(name ^ ".ack")
          ~deliver:(fun tag -> on_ack t tag)
          ());
   t

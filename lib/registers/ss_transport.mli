@@ -30,13 +30,17 @@ val create :
   ?dup:float ->
   ?retrans:int ->
   ?tag_space:int ->
+  ?classify:('m -> Obs.Event.msg_class) ->
   name:string ->
   deliver:('m -> unit) ->
   unit ->
   'm t
 (** [retrans] defaults to 25 ticks (pick > the round-trip time to avoid
     useless retransmissions); [tag_space] to 1024 (must exceed a few times
-    the plausible number of stale packets in flight). *)
+    the plausible number of stale packets in flight).  [classify] labels
+    the data link's typed drop events; the acknowledgment link always
+    classifies as [Link_ack].  Retransmissions bump the
+    ["transport.retrans"] counter. *)
 
 val send : 'm t -> ?on_delivered:(unit -> unit) -> 'm -> unit
 (** Queue a message.  [on_delivered] fires when the sender learns (from

@@ -1,6 +1,6 @@
-type writer = { copies : Swsr_atomic.writer array }
+type writer = { copies : Swsr_atomic.writer array; probe : Instr.probe }
 
-type reader = { sr : Swsr_atomic.reader }
+type reader = { sr : Swsr_atomic.reader; probe : Instr.probe }
 
 let writer ~net ~client_id ~base_inst ~readers ?(modulus = Seqnum.default_modulus)
     () =
@@ -9,6 +9,10 @@ let writer ~net ~client_id ~base_inst ~readers ?(modulus = Seqnum.default_modulu
     copies =
       Array.init readers (fun j ->
           Swsr_atomic.writer ~net ~client_id ~inst:(base_inst + j) ~modulus ());
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swmr" `Write;
   }
 
 let reader ~net ~client_id ~base_inst ~reader_index
@@ -17,11 +21,22 @@ let reader ~net ~client_id ~base_inst ~reader_index
     sr =
       Swsr_atomic.reader ~net ~client_id ~inst:(base_inst + reader_index)
         ~modulus ();
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swmr" `Read;
   }
 
-let write w v = Array.iter (fun c -> Swsr_atomic.write c v) w.copies
+let write (w : writer) v =
+  let span = Instr.start w.probe in
+  Array.iter (fun c -> Swsr_atomic.write c v) w.copies;
+  Instr.finish w.probe span
 
-let read ?max_iterations r = Swsr_atomic.read ?max_iterations r.sr
+let read ?max_iterations (r : reader) =
+  let span = Instr.start r.probe in
+  let result = Swsr_atomic.read ?max_iterations r.sr in
+  Instr.finish ~ok:(result <> None) r.probe span;
+  result
 
 let copies w = w.copies
 

@@ -5,6 +5,7 @@
 type writer = {
   copies : Swsr_atomic.writer array;
   modulus : int;
+  probe : Instr.probe;
   mutable shared_sn : Seqnum.t;
 }
 
@@ -13,6 +14,7 @@ type reader = {
   incoming : Swsr_atomic.reader array; (* EX[i][me] for i <> me *)
   outgoing : Swsr_atomic.writer array; (* EX[me][i] for i <> me *)
   modulus : int;
+  probe : Instr.probe;
   mutable wb_writes : int;
 }
 
@@ -27,6 +29,10 @@ let writer ~net ~client_id ~base_inst ~readers
       Array.init readers (fun j ->
           Swsr_atomic.writer ~net ~client_id ~inst:(base_inst + j) ~modulus ());
     modulus;
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swmr_wb" `Write;
     shared_sn = Seqnum.zero;
   }
 
@@ -57,10 +63,15 @@ let reader ~net ~client_id ~base_inst ~reader_index ?(readers = 2)
             ~modulus ())
         others;
     modulus;
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swmr_wb" `Read;
     wb_writes = 0;
   }
 
 let write (w : writer) v =
+  let span = Instr.start w.probe in
   (* One shared sequence number for all copies: re-impose it on each copy
      so that cross-copy comparisons stay meaningful even after transient
      faults desynchronized the per-copy counters. *)
@@ -70,7 +81,8 @@ let write (w : writer) v =
       Swsr_atomic.set_wsn c
         (Seqnum.norm ~modulus:w.modulus (w.shared_sn - 1));
       Swsr_atomic.write c v)
-    w.copies
+    w.copies;
+  Instr.finish w.probe span
 
 (* Exchange payloads embed (wsn, value) as a genesis-stamped value. *)
 let encode ~sn v = Value.stamped ~data:v ~epoch:(Epoch.genesis ~k:2) ~seq:sn
@@ -80,8 +92,11 @@ let decode ~modulus = function
   | (Value.Bot | Value.Int _ | Value.Str _) as v -> (Seqnum.zero, v)
 
 let read ?max_iterations (r : reader) =
+  let span = Instr.start r.probe in
   match Swsr_atomic.read ?max_iterations r.own with
-  | None -> None
+  | None ->
+    Instr.finish ~ok:false r.probe span;
+    None
   | Some own_v ->
     let own = (Swsr_atomic.pwsn r.own, own_v) in
     let candidates =
@@ -105,6 +120,7 @@ let read ?max_iterations (r : reader) =
         r.wb_writes <- r.wb_writes + 1;
         Swsr_atomic.write out (encode ~sn:best_sn best_v))
       r.outgoing;
+    Instr.finish r.probe span;
     Some best_v
 
 let exchange_writes r = r.wb_writes

@@ -3,6 +3,7 @@ type writer = {
   port : Net.client_port;
   inst : int;
   modulus : int;
+  probe : Instr.probe;
   mutable wsn : Seqnum.t;
 }
 
@@ -11,6 +12,7 @@ type reader = {
   port : Net.client_port;
   inst : int;
   modulus : int;
+  probe : Instr.probe;
   sanity_check : bool;
   mutable pwsn : Seqnum.t;
   mutable pv : Value.t;
@@ -21,7 +23,17 @@ type reader = {
 
 let writer ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus) () =
   Seqnum.validate_modulus modulus;
-  { net; port = Net.add_client net ~id:client_id; inst; modulus; wsn = Seqnum.zero }
+  {
+    net;
+    port = Net.add_client net ~id:client_id;
+    inst;
+    modulus;
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swsr_atomic" `Write;
+    wsn = Seqnum.zero;
+  }
 
 let reader ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus)
     ?(sanity_check = true) () =
@@ -31,6 +43,10 @@ let reader ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus)
     port = Net.add_client net ~id:client_id;
     inst;
     modulus;
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swsr_atomic" `Read;
     sanity_check;
     pwsn = Seqnum.zero;
     pv = Value.bot;
@@ -41,6 +57,7 @@ let reader ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus)
 
 (* prac_at_write(v): lines N1, 01M, 02-06. *)
 let write (w : writer) v =
+  let span = Instr.start w.probe in
   w.wsn <- Seqnum.succ ~modulus:w.modulus w.wsn;
   let cell = { Messages.sn = w.wsn; v } in
   let round = Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.Write cell) in
@@ -50,10 +67,12 @@ let write (w : writer) v =
   | Some _ -> ()
   | None ->
     ignore (Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.New_help cell)));
-  Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops"
+  Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops";
+  Instr.finish w.probe span
 
 (* prac_at_read(): lines N2-N7 (sanity check) then 07-18 with 13M/15M. *)
 let read ?(max_iterations = max_int) (r : reader) =
+  let span = Instr.start r.probe in
   let params = Net.params r.net in
   let threshold = Params.read_quorum params in
   let modulus = r.modulus in
@@ -109,6 +128,7 @@ let read ?(max_iterations = max_int) (r : reader) =
   in
   let result = loop max_iterations in
   Sim.Trace.incr (Sim.Engine.trace (Net.engine r.net)) "read.ops";
+  Instr.finish ~ok:(result <> None) r.probe span;
   result
 
 let wsn w = w.wsn

@@ -1,21 +1,39 @@
-type writer = { net : Net.t; port : Net.client_port; inst : int }
+type writer = {
+  net : Net.t;
+  port : Net.client_port;
+  inst : int;
+  probe : Instr.probe;
+}
 
 type reader = {
   net : Net.t;
   port : Net.client_port;
   inst : int;
+  probe : Instr.probe;
   mutable iterations : int;
   mutable help_returns : int;
 }
 
 let writer ~net ~client_id ~inst =
-  { net; port = Net.add_client net ~id:client_id; inst }
+  {
+    net;
+    port = Net.add_client net ~id:client_id;
+    inst;
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swsr_regular" `Write;
+  }
 
 let reader ~net ~client_id ~inst =
   {
     net;
     port = Net.add_client net ~id:client_id;
     inst;
+    probe =
+      Instr.probe ~engine:(Net.engine net)
+        ~proc:(Printf.sprintf "c%d" client_id)
+        ~reg:"swsr_regular" `Read;
     iterations = 0;
     help_returns = 0;
   }
@@ -23,6 +41,7 @@ let reader ~net ~client_id ~inst =
 (* operation write(v): lines 01-06.  The regular register carries no
    sequence number, so cells use sn = 0 throughout. *)
 let write (w : writer) v =
+  let span = Instr.start w.probe in
   let cell = { Messages.sn = Seqnum.zero; v } in
   let round = Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.Write cell) in
   let helps = Collect.ack_writes ~net:w.net ~port:w.port ~round in
@@ -31,10 +50,12 @@ let write (w : writer) v =
   | Some _ -> ()
   | None ->
     ignore (Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.New_help cell)));
-  Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops"
+  Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops";
+  Instr.finish w.probe span
 
 (* operation read(): lines 07-18. *)
 let read ?(max_iterations = max_int) (r : reader) =
+  let span = Instr.start r.probe in
   let params = Net.params r.net in
   let threshold = Params.read_quorum params in
   let new_read = ref true in
@@ -61,6 +82,7 @@ let read ?(max_iterations = max_int) (r : reader) =
   in
   let result = loop max_iterations in
   Sim.Trace.incr (Sim.Engine.trace (Net.engine r.net)) "read.ops";
+  Instr.finish ~ok:(result <> None) r.probe span;
   result
 
 let reader_iterations r = r.iterations

@@ -21,6 +21,12 @@ let str s = Str s
 
 let stamped ~data ~epoch ~seq = Stamped { data; epoch; seq }
 
+let rec wire_bytes = function
+  | Bot -> 1
+  | Int _ -> 9
+  | Str s -> 1 + String.length s
+  | Stamped { data; _ } -> 1 + wire_bytes data + 16 + 8
+
 let arbitrary rng =
   if Sim.Rng.bool rng then Int (Sim.Rng.int rng 1_000_000)
   else Str (Printf.sprintf "junk-%d" (Sim.Rng.int rng 1_000_000))

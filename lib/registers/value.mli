@@ -27,6 +27,10 @@ val str : string -> t
 
 val stamped : data:t -> epoch:Epoch.t -> seq:int -> t
 
+val wire_bytes : t -> int
+(** Serialized-size estimate (1-byte tag + payload; epochs count 16 bytes,
+    ints 8), for per-message-class traffic accounting. *)
+
 val arbitrary : Sim.Rng.t -> t
 (** A random non-[Stamped] value, for transient-fault injection. *)
 

@@ -22,6 +22,10 @@ let rng t = t.rng
 
 let trace t = t.trace
 
+let metrics t = Trace.metrics t.trace
+
+let hub t = Trace.hub t.trace
+
 let schedule_at t time action =
   let time = Vtime.max time t.clock in
   let seq = t.next_seq in

@@ -17,6 +17,12 @@ val rng : t -> Rng.t
 
 val trace : t -> Trace.t
 
+val metrics : t -> Obs.Metrics.t
+(** The metrics registry of the engine's trace. *)
+
+val hub : t -> Obs.Hub.t
+(** The typed-event hub of the engine's trace. *)
+
 val schedule : t -> delay:Vtime.span -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t + max delay 0]. *)
 

@@ -33,4 +33,13 @@ let schedule t ~engine ~at ~prefix =
         ~tag:"fault"
         (Printf.sprintf "transient fault: corrupted %d targets (prefix %S)" hit
            prefix);
-      Trace.add (Engine.trace engine) "fault.injections" hit)
+      Trace.add (Engine.trace engine) "fault.injections" hit;
+      let hub = Engine.hub engine in
+      if Obs.Hub.active hub then
+        Obs.Hub.emit hub
+          (Obs.Event.Fault_injected
+             {
+               time = Vtime.to_int (Engine.now engine);
+               target = (if prefix = "" then "*" else prefix);
+               hits = hit;
+             }))

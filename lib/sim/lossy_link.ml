@@ -7,21 +7,49 @@ type 'm t = {
   loss : float;
   dup : float;
   name : string;
+  classify : ('m -> Obs.Event.msg_class) option;
   deliver : 'm -> unit;
+  dropped : int ref;
   mutable next_id : int;
   mutable flight : 'm entry list;
 }
 
-let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ~name ~deliver () =
+let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?classify ~name
+    ~deliver () =
   if loss < 0.0 || loss >= 1.0 then
     invalid_arg "Lossy_link.create: loss must be in [0,1)";
   if dup < 0.0 || dup >= 1.0 then
     invalid_arg "Lossy_link.create: dup must be in [0,1)";
-  { engine; rng; delay; loss; dup; name; deliver; next_id = 0; flight = [] }
+  {
+    engine;
+    rng;
+    delay;
+    loss;
+    dup;
+    name;
+    classify;
+    deliver;
+    dropped = Obs.Metrics.counter_ref (Engine.metrics engine) "net.dropped";
+    next_id = 0;
+    flight = [];
+  }
+
+let record_drop t payload =
+  incr t.dropped;
+  let hub = Engine.hub t.engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Drop
+         {
+           time = Vtime.to_int (Engine.now t.engine);
+           link = t.name;
+           cls = (match t.classify with Some f -> Some (f payload) | None -> None);
+         })
 
 let rec transmit ?(lossless = false) ?(can_dup = true) t payload =
   Trace.incr (Engine.trace t.engine) "net.pkts";
-  if lossless || Rng.float t.rng 1.0 >= t.loss then begin
+  if (not lossless) && Rng.float t.rng 1.0 < t.loss then record_drop t payload
+  else begin
     let entry = { id = t.next_id; payload = Some payload } in
     t.next_id <- entry.id + 1;
     t.flight <- entry :: t.flight;

@@ -17,11 +17,14 @@ val create :
   delay:Link.sampler ->
   ?loss:float ->
   ?dup:float ->
+  ?classify:('m -> Obs.Event.msg_class) ->
   name:string ->
   deliver:('m -> unit) ->
   unit ->
   'm t
-(** [loss] and [dup] default to [0.0]. *)
+(** [loss] and [dup] default to [0.0].  [classify], when given, labels
+    the typed [Drop] events this link emits for lost packets (losses
+    always bump the ["net.dropped"] counter). *)
 
 val send : 'm t -> 'm -> unit
 (** Transmit one packet (counted in the trace counter ["net.pkts"] even

@@ -3,11 +3,20 @@ type event = { time : Vtime.t; tag : string; detail : string }
 type t = {
   record_events : bool;
   mutable events_rev : event list;
-  counters : (string, int ref) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+  hub : Obs.Hub.t;
 }
 
-let create ?(record_events = true) () =
-  { record_events; events_rev = []; counters = Hashtbl.create 32 }
+let create ?(record_events = true) ?metrics ?hub () =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let hub = match hub with Some h -> h | None -> Obs.Hub.create () in
+  { record_events; events_rev = []; metrics; hub }
+
+let metrics t = t.metrics
+
+let hub t = t.hub
 
 let emit t ~time ~tag detail =
   if t.record_events then t.events_rev <- { time; tag; detail } :: t.events_rev
@@ -23,21 +32,15 @@ let events t = List.rev t.events_rev
 let events_tagged t tag =
   List.filter (fun e -> String.equal e.tag tag) (events t)
 
-let add t name n =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + n
-  | None -> Hashtbl.add t.counters name (ref n)
+let add t name n = Obs.Metrics.add t.metrics name n
 
-let incr t name = add t name 1
+let incr t name = Obs.Metrics.incr t.metrics name
 
-let counter t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let counter t name = Obs.Metrics.counter t.metrics name
 
-let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let counters t = Obs.Metrics.counters t.metrics
 
-let reset_counters t = Hashtbl.reset t.counters
+let reset_counters t = Obs.Metrics.reset_counters t.metrics
 
 let pp_event ppf e =
   Format.fprintf ppf "[%a] %s: %s" Vtime.pp e.time e.tag e.detail

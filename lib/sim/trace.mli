@@ -1,18 +1,28 @@
-(** Structured execution traces and counters.
+(** Execution traces: the engine-side front door of the observability
+    pipeline.
 
-    Protocol and substrate code emit tagged events and bump named counters;
-    experiments read counters for their cost tables and tests assert on
-    them.  Event recording can be disabled (counters stay active) to keep
-    long benchmark runs cheap. *)
+    A trace bundles the typed-event {!Obs.Hub} and the {!Obs.Metrics}
+    registry that instrumented code reports into, plus a legacy buffer of
+    human-readable tagged string events (used by the annotated [trace]
+    subcommand; disabled by default on long runs).  Counters delegate to
+    the metrics registry, so [Trace.counter] and [Obs.Metrics.counter]
+    observe the same values. *)
 
 type event = { time : Vtime.t; tag : string; detail : string }
 
 type t
 
-val create : ?record_events:bool -> unit -> t
+val create :
+  ?record_events:bool -> ?metrics:Obs.Metrics.t -> ?hub:Obs.Hub.t -> unit -> t
+(** [record_events] (default true) controls only the string-event buffer;
+    typed events flow whenever a sink is attached to the hub. *)
+
+val metrics : t -> Obs.Metrics.t
+
+val hub : t -> Obs.Hub.t
 
 val emit : t -> time:Vtime.t -> tag:string -> string -> unit
-(** Record an event (no-op when event recording is disabled). *)
+(** Record a string event (no-op when event recording is disabled). *)
 
 val emit_lazy : t -> time:Vtime.t -> tag:string -> (unit -> string) -> unit
 (** Like {!emit}, but the detail string is only computed when recording is
@@ -21,10 +31,10 @@ val emit_lazy : t -> time:Vtime.t -> tag:string -> (unit -> string) -> unit
 val recording : t -> bool
 
 val events : t -> event list
-(** All recorded events, oldest first. *)
+(** All recorded string events, oldest first. *)
 
 val events_tagged : t -> string -> event list
-(** Recorded events with the given tag, oldest first. *)
+(** Recorded string events with the given tag, oldest first. *)
 
 val incr : t -> string -> unit
 (** Bump a named counter by one. *)

@@ -1,0 +1,267 @@
+(* The observability pipeline: JSON round-trips, the run-report schema
+   and its validator, histogram bucketing, the hub's inactive fast path,
+   and an end-to-end check that an instrumented deployment actually
+   produces per-class traffic counters, op histograms and typed events. *)
+
+open Util
+
+(* --- Json --- *)
+
+let sample_json =
+  Obs.Json.Obj
+    [
+      ("null", Obs.Json.Null);
+      ("bool", Obs.Json.Bool true);
+      ("int", Obs.Json.Int (-42));
+      ("float", Obs.Json.Float 2.5);
+      ("integral_float", Obs.Json.Float 3.0);
+      ("str", Obs.Json.Str "quote \" backslash \\ newline \n done");
+      ( "list",
+        Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Str "two"; Obs.Json.Null ] );
+      ("empty_obj", Obs.Json.Obj []);
+      ("empty_list", Obs.Json.List []);
+    ]
+
+let test_json_round_trip () =
+  check_true "compact round trip"
+    (Obs.Json.parse_exn (Obs.Json.to_string sample_json) = sample_json);
+  check_true "pretty round trip"
+    (Obs.Json.parse_exn (Obs.Json.to_string_pretty sample_json) = sample_json)
+
+let test_json_int_float_distinction () =
+  (* The ".0" marker keeps Int and integral Float distinct across a
+     print/parse cycle — report diffs must not flip types run to run. *)
+  check_true "int stays int" (Obs.Json.parse_exn "7" = Obs.Json.Int 7);
+  check_true "marked float stays float"
+    (Obs.Json.parse_exn (Obs.Json.to_string (Obs.Json.Float 7.0))
+    = Obs.Json.Float 7.0)
+
+let test_json_parse_errors () =
+  check_true "garbage" (Result.is_error (Obs.Json.parse "{nope"));
+  check_true "trailing junk" (Result.is_error (Obs.Json.parse "1 2"));
+  check_true "ok" (Obs.Json.parse "{\"a\": [1, 2]}" |> Result.is_ok)
+
+(* --- Report schema --- *)
+
+let mk_report () =
+  let r = Obs.Report.create ~experiment:"T0" ~seed:3 in
+  Obs.Report.set_params r ~n:9 ~f:1 ~mode:"async";
+  Obs.Report.add_message_class r ~name:"WRITE" ~sent:10 ~recv:9 ~bytes:170;
+  Obs.Report.add_message_class r ~name:"ACK_WRITE" ~sent:9 ~recv:9 ~bytes:99;
+  Obs.Report.add_op_summary r ~name:"swsr_atomic.write"
+    {
+      Obs.Report.count = 10;
+      mean = 12.0;
+      min = 4.0;
+      p50 = 11.0;
+      p95 = 20.0;
+      p99 = 22.0;
+      max = 22.0;
+    };
+  Obs.Report.set_stabilization r 120;
+  Obs.Report.set_counters r [ ("ss.broadcasts", 4) ];
+  Obs.Report.add_extra r "note" (Obs.Json.Str "free-form");
+  r
+
+let test_report_validates () =
+  let j = Obs.Report.to_json (mk_report ()) in
+  (match Obs.Report.validate j with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid: %s" e);
+  (* And it survives serialization. *)
+  match Obs.Report.validate (Obs.Json.parse_exn (Obs.Json.to_string j)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "round-tripped report invalid: %s" e
+
+let test_report_write_and_reparse () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "stabreg-obs-test" in
+  let path = Obs.Report.write ~dir (mk_report ()) in
+  check_true "named after the experiment"
+    (Filename.basename path = "T0.json");
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  match Obs.Report.validate (Obs.Json.parse_exn s) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "written report invalid: %s" e
+
+let test_report_rejects () =
+  let valid = Obs.Report.to_json (mk_report ()) in
+  let strip key j =
+    match j with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj (List.filter (fun (k, _) -> k <> key) fields)
+    | _ -> j
+  in
+  let replace key v j =
+    match j with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj (List.map (fun (k, old) -> (k, if k = key then v else old)) fields)
+    | _ -> j
+  in
+  check_true "missing schema"
+    (Result.is_error (Obs.Report.validate (strip "schema" valid)));
+  check_true "wrong schema string"
+    (Result.is_error
+       (Obs.Report.validate (replace "schema" (Obs.Json.Str "v0") valid)));
+  check_true "missing params"
+    (Result.is_error (Obs.Report.validate (strip "params" valid)));
+  check_true "stabilization must be int or null"
+    (Result.is_error
+       (Obs.Report.validate
+          (replace "stabilization_time" (Obs.Json.Str "soon") valid)));
+  check_true "non-object" (Result.is_error (Obs.Report.validate (Obs.Json.Int 1)))
+
+(* --- histogram buckets --- *)
+
+let test_bucket_boundaries () =
+  (* Bucket 0 holds [0,1); bucket i>=1 holds [2^((i-1)/4), 2^(i/4)). *)
+  check_int "zero" 0 (Obs.Metrics.bucket_index 0.0);
+  check_int "sub-one" 0 (Obs.Metrics.bucket_index 0.99);
+  check_int "one" 1 (Obs.Metrics.bucket_index 1.0);
+  check_int "negative clamps" 0 (Obs.Metrics.bucket_index (-5.0));
+  (* Every bucket's lower bound must index back into that bucket, and a
+     hair below it into the previous one. *)
+  for i = 1 to Obs.Metrics.num_buckets - 2 do
+    let lo, hi = Obs.Metrics.bucket_bounds i in
+    check_int (Printf.sprintf "lo of %d" i) i (Obs.Metrics.bucket_index lo);
+    check_int
+      (Printf.sprintf "below hi of %d" i)
+      i
+      (Obs.Metrics.bucket_index (hi *. 0.999));
+    check_true (Printf.sprintf "bounds ordered %d" i) (lo < hi)
+  done;
+  let _, last_hi = Obs.Metrics.bucket_bounds (Obs.Metrics.num_buckets - 1) in
+  check_true "last bucket open" (last_hi = infinity)
+
+let test_histogram_stats () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "op.t.read" in
+  check_int "empty count" 0 (Obs.Metrics.hist_count h);
+  check_true "empty quantile" (Obs.Metrics.quantile h 0.5 = 0.0);
+  List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 4.0; 8.0; 100.0 ];
+  check_int "count" 5 (Obs.Metrics.hist_count h);
+  check_true "min exact" (Obs.Metrics.hist_min h = 1.0);
+  check_true "max exact" (Obs.Metrics.hist_max h = 100.0);
+  check_true "q0 is min" (Obs.Metrics.quantile h 0.0 = 1.0);
+  check_true "q1 is max" (Obs.Metrics.quantile h 1.0 = 100.0);
+  let p50 = Obs.Metrics.quantile h 0.5 in
+  (* Within the containing log bucket's ~19% relative width of 4. *)
+  check_true "p50 near 4" (p50 >= 3.0 && p50 <= 5.0);
+  let s = Obs.Report.op_summary_of_histogram h in
+  check_int "summary count" 5 s.Obs.Report.count;
+  check_true "summary min" (s.Obs.Report.min = 1.0);
+  check_true "summary max" (s.Obs.Report.max = 100.0)
+
+(* --- hub fast path --- *)
+
+let test_hub_inactive_fast_path () =
+  let hub = Obs.Hub.create () in
+  check_false "inactive" (Obs.Hub.active hub);
+  let built = ref 0 in
+  Obs.Hub.emit_with hub (fun () ->
+      incr built;
+      Obs.Event.Mark { time = 0; label = "x" });
+  check_int "thunk not run when inactive" 0 !built;
+  let sink, events = Obs.Sink.memory () in
+  Obs.Hub.attach hub sink;
+  check_true "active" (Obs.Hub.active hub);
+  Obs.Hub.emit_with hub (fun () ->
+      incr built;
+      Obs.Event.Mark { time = 1; label = "y" });
+  check_int "thunk runs when active" 1 !built;
+  check_int "event delivered" 1 (List.length (events ()));
+  Obs.Hub.detach hub "memory";
+  check_false "inactive after detach" (Obs.Hub.active hub);
+  Obs.Hub.emit hub (Obs.Event.Mark { time = 2; label = "z" });
+  check_int "no delivery after detach" 1 (List.length (events ()))
+
+let test_op_ids_monotonic () =
+  let hub = Obs.Hub.create () in
+  let a = Obs.Hub.next_op_id hub in
+  let b = Obs.Hub.next_op_id hub in
+  check_true "fresh ids" (b > a)
+
+(* --- the instrumented stack, end to end --- *)
+
+let test_instrumented_scenario () =
+  let scn = async_scenario () in
+  let sink, events = Obs.Sink.memory () in
+  Obs.Hub.attach (Harness.Scenario.hub scn) sink;
+  let w =
+    Registers.Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100
+      ~inst:0 ()
+  in
+  let r =
+    Registers.Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:101
+      ~inst:0 ()
+  in
+  run_fiber scn "wr" (fun () ->
+      for i = 1 to 5 do
+        Registers.Swsr_atomic.write w (int_value i);
+        ignore (Registers.Swsr_atomic.read r)
+      done);
+  let m = Harness.Scenario.metrics scn in
+  (* Per-class traffic: 5 writes to 9 servers each. *)
+  check_int "WRITE sent" 45 (Obs.Metrics.counter m "msg.sent.WRITE.count");
+  check_int "WRITE recv" 45 (Obs.Metrics.counter m "msg.recv.WRITE.count");
+  check_true "WRITE bytes accounted"
+    (Obs.Metrics.counter m "msg.sent.WRITE.bytes" > 0);
+  check_true "acks flowed back"
+    (Obs.Metrics.counter m "msg.recv.ACK_WRITE.count" > 0);
+  (* Op spans land in per-register histograms. *)
+  let wh = Obs.Metrics.histogram m "op.swsr_atomic.write" in
+  let rh = Obs.Metrics.histogram m "op.swsr_atomic.read" in
+  check_int "write spans" 5 (Obs.Metrics.hist_count wh);
+  check_int "read spans" 5 (Obs.Metrics.hist_count rh);
+  check_true "latencies positive" (Obs.Metrics.hist_min wh > 0.0);
+  (* Typed events reached the sink, invokes and returns pair up. *)
+  let evs = events () in
+  let count p = List.length (List.filter p evs) in
+  check_int "op invokes" 10
+    (count (function Obs.Event.Op_invoke _ -> true | _ -> false));
+  check_int "op returns" 10
+    (count (function Obs.Event.Op_return _ -> true | _ -> false));
+  check_true "sends observed"
+    (count (function Obs.Event.Send _ -> true | _ -> false) > 0);
+  check_true "recvs observed"
+    (count (function Obs.Event.Recv _ -> true | _ -> false) > 0);
+  (* Each event serializes to one JSON object. *)
+  List.iter
+    (fun e ->
+      match Obs.Json.parse (Obs.Json.to_string (Obs.Event.to_json e)) with
+      | Ok (Obs.Json.Obj _) -> ()
+      | Ok _ -> Alcotest.fail "event JSON not an object"
+      | Error msg -> Alcotest.failf "event JSON unparsable: %s" msg)
+    evs
+
+let test_uninstrumented_scenario_still_counts () =
+  (* No sink attached: events are skipped but metrics still accumulate. *)
+  let scn = async_scenario () in
+  let w =
+    Registers.Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100
+      ~inst:0 ()
+  in
+  run_fiber scn "w" (fun () -> Registers.Swsr_atomic.write w (int_value 1));
+  let m = Harness.Scenario.metrics scn in
+  check_int "WRITE sent" 9 (Obs.Metrics.counter m "msg.sent.WRITE.count");
+  check_int "write span" 1
+    (Obs.Metrics.hist_count (Obs.Metrics.histogram m "op.swsr_atomic.write"))
+
+let tests =
+  [
+    case "json round trip" test_json_round_trip;
+    case "json int/float distinction" test_json_int_float_distinction;
+    case "json parse errors" test_json_parse_errors;
+    case "report validates" test_report_validates;
+    case "report write + reparse" test_report_write_and_reparse;
+    case "report rejects malformed" test_report_rejects;
+    case "histogram bucket boundaries" test_bucket_boundaries;
+    case "histogram stats" test_histogram_stats;
+    case "hub inactive fast path" test_hub_inactive_fast_path;
+    case "op ids monotonic" test_op_ids_monotonic;
+    case "instrumented scenario" test_instrumented_scenario;
+    case "metrics without sinks" test_uninstrumented_scenario_still_counts;
+  ]

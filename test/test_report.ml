@@ -48,7 +48,14 @@ let test_section () =
 let test_formatters () =
   Alcotest.(check string) "f1" "3.1" (Harness.Report.f1 3.14159);
   Alcotest.(check string) "pct" "1/4 (25%)" (Harness.Report.pct 1 4);
-  Alcotest.(check string) "pct zero denom" "0/0" (Harness.Report.pct 0 0)
+  Alcotest.(check string) "pct zero denom" "0/0 (—)" (Harness.Report.pct 0 0)
+
+let test_json_kv () =
+  let j = Harness.Report.json_kv [ ("k", "v"); ("k2", "v2") ] in
+  check_true "object of strings"
+    (j = Obs.Json.Obj [ ("k", Obs.Json.Str "v"); ("k2", Obs.Json.Str "v2") ]);
+  (* Round-trips through the printer/parser unchanged. *)
+  check_true "round trip" (Obs.Json.parse_exn (Obs.Json.to_string j) = j)
 
 let tests =
   [
@@ -57,4 +64,5 @@ let tests =
     case "kv" test_kv;
     case "section" test_section;
     case "formatters" test_formatters;
+    case "json kv" test_json_kv;
   ]

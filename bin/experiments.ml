@@ -163,6 +163,153 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Dump counters and events of one annotated run.")
     Term.(const trace $ seed_arg)
 
+let chaos_cmd =
+  let family_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error
+            (fun e -> `Msg e)
+            (Chaos.Campaign.family_of_string s)),
+        fun fmt f ->
+          Format.pp_print_string fmt (Chaos.Campaign.family_to_string f) )
+  in
+  let medium_conv =
+    let parse = function
+      | "fifo" -> Ok Chaos.Campaign.Fifo
+      | "lossy" -> Ok Chaos.Campaign.Lossy
+      | s -> Error (`Msg (Printf.sprintf "unknown medium %S" s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt m ->
+          Format.pp_print_string fmt
+            (match m with Chaos.Campaign.Fifo -> "fifo" | Lossy -> "lossy") )
+  in
+  let strategy_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error (fun e -> `Msg e) (Chaos.Strategy.of_string s)),
+        fun fmt s -> Format.pp_print_string fmt (Chaos.Strategy.to_string s) )
+  in
+  let family_arg =
+    let doc = "Register family to attack: $(b,regular), $(b,atomic) or \
+               $(b,mwmr)." in
+    Arg.(
+      value
+      & opt family_conv Chaos.Campaign.Regular
+      & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let trials_arg =
+    let doc = "Number of randomized trials in the campaign." in
+    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let byz_arg =
+    let doc =
+      "Compromise the first $(docv) server slots before the run starts \
+       (beyond the schedule's own mobile roams).  More than t slots \
+       deliberately exceeds the resilience bound."
+    in
+    Arg.(value & opt int 1 & info [ "byz" ] ~docv:"K" ~doc)
+  in
+  let strategy_arg =
+    let doc =
+      "Strategy of the $(b,--byz) slots: $(b,silent), $(b,garbage), \
+       $(b,equivocate), $(b,frozen), $(b,collude), $(b,flaky:<p>), \
+       $(b,delayed:<ticks>) or $(b,crash:<k>)."
+    in
+    Arg.(
+      value
+      & opt strategy_conv Chaos.Strategy.Garbage
+      & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let medium_arg =
+    let doc =
+      "Communication medium: $(b,fifo) (reliable links) or $(b,lossy) \
+       (self-stabilizing transports; enables link-chaos windows)."
+    in
+    Arg.(
+      value
+      & opt medium_conv Chaos.Campaign.Fifo
+      & info [ "medium" ] ~docv:"MEDIUM" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory for shrunk counterexample artifacts." in
+    Arg.(
+      value & opt string "results/chaos" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-execute a repro artifact instead of running a campaign; fails \
+       unless the replay reproduces the recorded verdict."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let expect_arg =
+    let expect_conv =
+      let parse = function
+        | "clean" -> Ok `Clean
+        | "violation" -> Ok `Violation
+        | s -> Error (`Msg (Printf.sprintf "unknown expectation %S" s))
+      in
+      Arg.conv
+        ( parse,
+          fun fmt e ->
+            Format.pp_print_string fmt
+              (match e with `Clean -> "clean" | `Violation -> "violation") )
+    in
+    let doc =
+      "Fail (exit non-zero) unless the campaign ends as stated: $(b,clean) \
+       (no trial violated) or $(b,violation) (at least one did).  Gives \
+       CI a one-flag assertion for both sides of the resilience bound."
+    in
+    Arg.(
+      value & opt (some expect_conv) None & info [ "expect" ] ~docv:"WHAT" ~doc)
+  in
+  let chaos family trials byz strategy medium out replay expect seed json
+      trace =
+    Exp_drivers.Common.json_dir := json;
+    Exp_drivers.Common.trace_out := trace;
+    let status = ref (`Ok ()) in
+    let exp = "CHAOS-" ^ Chaos.Campaign.family_to_string family in
+    (match replay with
+    | Some path ->
+      Exp_drivers.Common.with_report ~exp:"CHAOS-replay" ~seed (fun () ->
+          match Exp_drivers.Exp_chaos.replay path with
+          | Ok () -> ()
+          | Error e -> status := `Error (false, e))
+    | None ->
+      Exp_drivers.Common.with_report ~exp ~seed (fun () ->
+          let violations =
+            Exp_drivers.Exp_chaos.run ~family ~medium ~byz ~strategy ~seed
+              ~trials ~out
+          in
+          match (expect, violations) with
+          | Some `Clean, _ :: _ ->
+            status :=
+              `Error
+                ( false,
+                  Printf.sprintf "expected a clean campaign, got %d violation(s)"
+                    (List.length violations) )
+          | Some `Violation, [] ->
+            status :=
+              `Error (false, "expected a violation, campaign ran clean")
+          | _ -> ()));
+    Exp_drivers.Common.close_trace ();
+    !status
+  in
+  let doc =
+    "Run a randomized chaos campaign (transient faults, mobile Byzantine \
+     roams, link-chaos windows) against one register family, shrinking any \
+     counterexample to a minimal replayable artifact."
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(
+      ret
+        (const chaos $ family_arg $ trials_arg $ byz_arg $ strategy_arg
+       $ medium_arg $ out_arg $ replay_arg $ expect_arg $ seed_arg $ json_arg
+       $ trace_out_arg))
+
 let list_cmd =
   let list () =
     List.iter (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc) all
@@ -177,6 +324,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "stabreg-experiments" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; trace_cmd; validate_cmd ]
+    [ run_cmd; list_cmd; trace_cmd; validate_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

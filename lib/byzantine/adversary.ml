@@ -64,3 +64,22 @@ let compromise_first t ~count mk =
 let move t ~from ~to_ behavior =
   restore t from;
   compromise t to_ behavior
+
+let roam t assignments =
+  let engine = Net.engine t.net in
+  let hub = Sim.Engine.hub engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Mark
+         {
+           time = Sim.Vtime.to_int (Sim.Engine.now engine);
+           label =
+             Printf.sprintf "byz.roam.[%s]"
+               (String.concat ","
+                  (List.map (fun (i, _) -> string_of_int i) assignments));
+         });
+  let kept = List.map fst assignments in
+  List.iter
+    (fun i -> if not (List.mem i kept) then restore t i)
+    t.byz;
+  List.iter (fun (i, behavior) -> compromise t i behavior) assignments

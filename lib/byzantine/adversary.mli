@@ -39,3 +39,13 @@ val compromise_first : t -> count:int -> (int -> Behavior.t) -> unit
 
 val move : t -> from:int -> to_:int -> Behavior.t -> unit
 (** Mobile step: {!restore} [from], then {!compromise} [to_]. *)
+
+val roam : t -> (int * Behavior.t) list -> unit
+(** Mobile sweep: make [assignments] the {e entire} Byzantine set in one
+    step — every currently compromised slot absent from the list is handed
+    back to the honest automaton ({!restore}, i.e. {!Behavior.honest} over
+    freshly corrupted state), then each listed slot is compromised with its
+    strategy.  Keeping the list no longer than the model's [t] realizes the
+    footnote-1 mobile adversary: up to [t] simultaneous compromises that
+    relocate between quiescence points.  [roam t \[\]] retires the
+    adversary entirely. *)

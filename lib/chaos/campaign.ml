@@ -1,0 +1,758 @@
+type family = Regular | Atomic | Mwmr
+
+let family_to_string = function
+  | Regular -> "regular"
+  | Atomic -> "atomic"
+  | Mwmr -> "mwmr"
+
+let family_of_string = function
+  | "regular" -> Ok Regular
+  | "atomic" -> Ok Atomic
+  | "mwmr" -> Ok Mwmr
+  | s -> Error (Printf.sprintf "unknown register family %S" s)
+
+type medium = Fifo | Lossy
+
+let medium_to_string = function Fifo -> "fifo" | Lossy -> "lossy"
+
+let medium_of_string = function
+  | "fifo" -> Ok Fifo
+  | "lossy" -> Ok Lossy
+  | s -> Error (Printf.sprintf "unknown medium %S" s)
+
+let lossy_base = (0.05, 0.02)
+
+let lossy_retrans = 30
+
+type config = {
+  family : family;
+  n : int;
+  f : int;
+  medium : medium;
+  initial : (int * Strategy.t) list;
+  writes : int;
+  reads : int;
+  read_budget : int;
+  gap_hi : int;
+  horizon : int;
+  injections : int;
+  roams : int;
+  roam_max : int;
+  windows : int;
+  window_max : int;
+}
+
+let default_config ~family =
+  {
+    family;
+    n = 9;
+    f = 1;
+    medium = Fifo;
+    initial = [ (0, Strategy.Garbage) ];
+    writes = 60;
+    reads = 45;
+    read_budget = 64;
+    gap_hi = 25;
+    horizon = 3000;
+    injections = 3;
+    roams = 2;
+    roam_max = 1;
+    windows = 2;
+    window_max = 400;
+  }
+
+type verdict =
+  | Clean
+  | Violation of { kind : string; count : int; detail : string }
+
+let verdict_kind = function
+  | Clean -> "clean"
+  | Violation { kind; _ } -> kind
+
+let same_verdict a b = String.equal (verdict_kind a) (verdict_kind b)
+
+let pp_verdict fmt = function
+  | Clean -> Format.pp_print_string fmt "clean"
+  | Violation { kind; count; detail } ->
+    Format.fprintf fmt "%s x%d (%s)" kind count detail
+
+type outcome = {
+  verdict : verdict;
+  ops : int;
+  duration : int;
+  stuck : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Schedule generation                                                *)
+
+(* Decorrelate the generation stream from the scenario's own generator
+   (Scenario.create seeds splitmix from the same trial seed). *)
+let gen_rng seed = Sim.Rng.create (seed + 0x5eed_0c4a)
+
+let gen_prefix cfg rng =
+  let roll = Sim.Rng.int rng 100 in
+  if roll < 40 then "server."
+  else if roll < 60 then Printf.sprintf "server.%d" (Sim.Rng.int rng cfg.n)
+  else if roll < 75 then "client."
+  else if roll < 90 then "link."
+  else ""
+
+let gen_roam cfg rng =
+  let at = Sim.Rng.int_in rng 1 cfg.horizon in
+  let budget = max 0 (min cfg.roam_max cfg.f) in
+  let count = Sim.Rng.int_in rng 0 budget in
+  let slots = Array.init cfg.n Fun.id in
+  Sim.Rng.shuffle rng slots;
+  let assign =
+    List.init count (fun i ->
+        (slots.(i), Sim.Rng.pick rng Strategy.default_pool))
+  in
+  Schedule.Roam { at; assign = List.sort compare assign }
+
+let gen_window cfg rng =
+  let at = Sim.Rng.int_in rng 1 cfg.horizon in
+  let duration = Sim.Rng.int_in rng (min 50 cfg.window_max) cfg.window_max in
+  let dir =
+    Sim.Rng.pick rng
+      [| Schedule.Both; Schedule.To_servers; Schedule.From_servers |]
+  in
+  if Sim.Rng.int rng 3 = 0 then
+    (* directed partition: one server slot unreachable for the window *)
+    Schedule.Window
+      {
+        at;
+        duration;
+        loss = 1.0;
+        dup = 0.0;
+        dir;
+        server = Some (Sim.Rng.int rng cfg.n);
+      }
+  else
+    let loss = 0.3 +. Sim.Rng.float rng 0.6 in
+    let dup = Sim.Rng.float rng 0.5 in
+    Schedule.Window { at; duration; loss; dup; dir; server = None }
+
+let generate cfg ~seed =
+  let rng = gen_rng seed in
+  let injections =
+    List.init cfg.injections (fun _ ->
+        let at = Sim.Rng.int_in rng 1 cfg.horizon in
+        Schedule.Inject { at; prefix = gen_prefix cfg rng })
+  in
+  let roams = List.init cfg.roams (fun _ -> gen_roam cfg rng) in
+  let windows =
+    match cfg.medium with
+    | Fifo -> []
+    | Lossy -> List.init cfg.windows (fun _ -> gen_window cfg rng)
+  in
+  Schedule.sort (injections @ roams @ windows)
+
+(* ------------------------------------------------------------------ *)
+(* Trial execution                                                    *)
+
+let apply_event scn = function
+  | Schedule.Inject { at; prefix } ->
+    Sim.Fault.schedule scn.Harness.Scenario.fault
+      ~engine:scn.Harness.Scenario.engine ~at:(Sim.Vtime.of_int at) ~prefix
+  | Schedule.Roam { at; assign } ->
+    Sim.Engine.schedule_at scn.Harness.Scenario.engine (Sim.Vtime.of_int at)
+      (fun () ->
+        let adv = scn.Harness.Scenario.adversary in
+        Byzantine.Adversary.roam adv
+          (List.map
+             (fun (slot, s) -> (slot, Strategy.to_behavior adv ~slot s))
+             assign))
+  | Schedule.Window { at; duration; loss; dup; dir; server } ->
+    let dir =
+      match dir with
+      | Schedule.To_servers -> `To_servers
+      | Schedule.From_servers -> `From_servers
+      | Schedule.Both -> `Both
+    in
+    let set ~loss ~dup =
+      List.iter
+        (fun (_, port) ->
+          ignore
+            (Registers.Net.set_port_chaos port ~dir ?server ~loss ~dup ()))
+        (Registers.Net.client_ports scn.Harness.Scenario.net)
+    in
+    Sim.Engine.schedule_at scn.Harness.Scenario.engine (Sim.Vtime.of_int at)
+      (fun () -> set ~loss ~dup);
+    let base_loss, base_dup = lossy_base in
+    Sim.Engine.schedule_at scn.Harness.Scenario.engine
+      (Sim.Vtime.of_int (at + duration))
+      (fun () -> set ~loss:base_loss ~dup:base_dup)
+
+(* Jobs for one trial: (fiber name, body) pairs. *)
+let deploy_jobs cfg scn =
+  let net = scn.Harness.Scenario.net in
+  let g = Harness.Workload.gap 0 cfg.gap_hi in
+  match cfg.family with
+  | Regular ->
+    let w = Registers.Swsr_regular.writer ~net ~client_id:100 ~inst:0 in
+    let r = Registers.Swsr_regular.reader ~net ~client_id:101 ~inst:0 in
+    Harness.Scenario.register_port scn (Registers.Swsr_regular.writer_port w);
+    Harness.Scenario.register_port scn (Registers.Swsr_regular.reader_port r);
+    [
+      ( "writer",
+        fun () ->
+          Harness.Workload.writer_job scn
+            ~write:(Registers.Swsr_regular.write w)
+            ~count:cfg.writes ~gap:g () );
+      ( "reader",
+        fun () ->
+          Harness.Workload.reader_job scn
+            ~read:(fun () ->
+              Registers.Swsr_regular.read ~max_iterations:cfg.read_budget r)
+            ~count:cfg.reads ~gap:g () );
+    ]
+  | Atomic ->
+    let w = Registers.Swsr_atomic.writer ~net ~client_id:100 ~inst:0 () in
+    let r = Registers.Swsr_atomic.reader ~net ~client_id:101 ~inst:0 () in
+    Harness.Scenario.register_port scn (Registers.Swsr_atomic.writer_port w);
+    Harness.Scenario.register_port scn (Registers.Swsr_atomic.reader_port r);
+    Harness.Scenario.register_atomic_writer scn ~name:"writer" w;
+    Harness.Scenario.register_atomic_reader scn ~name:"reader" r;
+    [
+      ( "writer",
+        fun () ->
+          Harness.Workload.writer_job scn
+            ~write:(Registers.Swsr_atomic.write w)
+            ~count:cfg.writes ~gap:g () );
+      ( "reader",
+        fun () ->
+          Harness.Workload.reader_job scn
+            ~read:(fun () ->
+              Registers.Swsr_atomic.read ~max_iterations:cfg.read_budget r)
+            ~count:cfg.reads ~gap:g () );
+    ]
+  | Mwmr ->
+    let m = 2 in
+    let mcfg = Registers.Mwmr.default_config ~m in
+    let total = cfg.writes + cfg.reads in
+    let ratio = float_of_int cfg.writes /. float_of_int (max 1 total) in
+    List.init m (fun i ->
+        let p =
+          Registers.Mwmr.process ~net ~cfg:mcfg ~id:i ~client_id:(300 + i)
+        in
+        let proc = Printf.sprintf "p%d" i in
+        ( proc,
+          fun () ->
+            Harness.Workload.mwmr_job scn ~proc ~process:p ~ops:(total / m)
+              ~write_ratio:ratio ~gap:g ~max_iterations:cfg.read_budget () ))
+
+(* ------------------------------------------------------------------ *)
+(* Segment checking                                                   *)
+
+(* The oracle cannot expect anything across a disturbance: the register
+   condition is only guaranteed from the first write completed after
+   faults stop (eventual regularity).  So time is cut at every
+   disturbance point, and each segment is checked independently with a
+   cutoff at the first write invoked inside it.  Under the Lossy medium
+   the transports themselves need a beat to re-stabilize after
+   corruption, so segments start a grace period after the disturbance. *)
+
+let grace = function Fifo -> 0 | Lossy -> 100
+
+let sub_history h ~lo ~hi =
+  let sub = Oracles.History.create () in
+  List.iter
+    (fun (o : Oracles.History.op) ->
+      let keep =
+        match o.kind with
+        | Oracles.History.Write -> true
+        | Oracles.History.Read ->
+          Sim.Vtime.to_int o.inv >= lo && Sim.Vtime.to_int o.resp < hi
+      in
+      if keep then
+        Oracles.History.record sub ~proc:o.proc ~kind:o.kind ~inv:o.inv
+          ~resp:o.resp ?ts:o.ts ~ok:o.ok o.value)
+    (Oracles.History.ops h);
+  sub
+
+(* First write invoked at or after [lo]: its response is the segment's
+   stabilization cutoff.  [None] when no write lands in the segment —
+   then nothing re-established the register and the segment is vacuous. *)
+let cutoff_from h ~lo =
+  Oracles.History.writes h
+  |> List.find_opt (fun (o : Oracles.History.op) ->
+         Sim.Vtime.to_int o.inv >= lo)
+  |> Option.map (fun (o : Oracles.History.op) -> o.Oracles.History.resp)
+
+let describe_read (o : Oracles.History.op) =
+  Format.asprintf "%a" Oracles.History.pp_op o
+
+let regularity_issues (r : Oracles.Regularity.report) =
+  List.map
+    (fun (v : Oracles.Regularity.violation) ->
+      ("regularity", describe_read v.read))
+    r.violations
+  @
+  if r.liveness_failures > 0 then
+    [ ("liveness", Printf.sprintf "%d reads exhausted their budget"
+                     r.liveness_failures) ]
+  else []
+
+let segment_issues cfg h schedule =
+  let points =
+    Schedule.disturbance_points schedule
+    |> List.map (fun p -> p + grace cfg.medium)
+  in
+  let bounds = 0 :: points in
+  let rec segments = function
+    | [] -> []
+    | [ lo ] -> [ (lo, max_int) ]
+    | lo :: (hi :: _ as rest) -> (lo, hi) :: segments rest
+  in
+  segments bounds
+  |> List.concat_map (fun (lo, hi) ->
+         let sub = sub_history h ~lo ~hi in
+         match cutoff_from sub ~lo with
+         | None -> []
+         | Some cutoff -> (
+           match cfg.family with
+           | Regular ->
+             regularity_issues (Oracles.Regularity.check ~cutoff sub)
+           | Atomic ->
+             let r = Oracles.Atomicity.Sw.check ~cutoff sub in
+             regularity_issues r.regularity
+             @ List.map
+                 (fun (i : Oracles.Atomicity.inversion) ->
+                   ("inversion", describe_read i.later_read))
+                 r.inversions
+             @ List.map (fun m -> ("regularity", m)) r.malformed
+           | Mwmr -> []))
+
+(* MWMR timestamps are global (bounded epochs + sequence numbers), so a
+   per-segment check would mis-flag legitimate cross-segment evolution;
+   the checker instead runs once over the suffix after the last
+   disturbance. *)
+let mwmr_issues cfg h schedule =
+  match cfg.family with
+  | Regular | Atomic -> []
+  | Mwmr ->
+    let lo =
+      match List.rev (Schedule.disturbance_points schedule) with
+      | [] -> 0
+      | p :: _ -> p + grace cfg.medium
+    in
+    (match cutoff_from h ~lo with
+    | None -> []
+    | Some cutoff ->
+      let r =
+        Oracles.Atomicity.Mw.check ~cutoff ~tie:`Min_index h
+      in
+      List.map
+        (fun (v : Oracles.Atomicity.Mw.violation) ->
+          ("mw", v.kind ^ ": " ^ v.detail))
+        r.violations)
+
+let verdict_of_issues issues =
+  match issues with
+  | [] -> Clean
+  | _ ->
+    let severity = function "liveness" -> 1 | _ -> 0 in
+    let kind, detail =
+      List.stable_sort
+        (fun (a, _) (b, _) -> Int.compare (severity a) (severity b))
+        issues
+      |> List.hd
+    in
+    let count =
+      List.length (List.filter (fun (k, _) -> String.equal k kind) issues)
+    in
+    Violation { kind; count; detail }
+
+let medium_of cfg =
+  match cfg.medium with
+  | Fifo -> Registers.Net.Reliable_fifo
+  | Lossy ->
+    let loss, dup = lossy_base in
+    Registers.Net.Stabilizing { loss; dup; retrans = lossy_retrans }
+
+let run_trial ?on_scenario cfg ~seed schedule =
+  let params =
+    Registers.Params.create_unchecked ~n:cfg.n ~f:cfg.f
+      ~mode:Registers.Params.Async
+  in
+  let scn =
+    Harness.Scenario.create ~seed ~medium:(medium_of cfg) ~params ()
+  in
+  let adv = scn.Harness.Scenario.adversary in
+  List.iter
+    (fun (slot, s) ->
+      Byzantine.Adversary.compromise adv slot
+        (Strategy.to_behavior adv ~slot s))
+    cfg.initial;
+  let jobs = deploy_jobs cfg scn in
+  List.iter (apply_event scn) schedule;
+  Option.iter (fun f -> f scn) on_scenario;
+  let handles =
+    List.map (fun (name, f) -> (name, Sim.Fiber.spawn ~name f)) jobs
+  in
+  Harness.Scenario.run scn;
+  let stuck =
+    List.filter_map
+      (fun (name, h) ->
+        match Sim.Fiber.status h with
+        | Sim.Fiber.Done -> None
+        | Sim.Fiber.Running -> Some name
+        | Sim.Fiber.Failed e ->
+          Some (name ^ " (raised: " ^ Printexc.to_string e ^ ")"))
+      handles
+  in
+  let h = scn.Harness.Scenario.history in
+  let verdict =
+    if stuck <> [] then
+      Violation
+        {
+          kind = "stuck";
+          count = List.length stuck;
+          detail =
+            "fibers never finished: " ^ String.concat ", " stuck;
+        }
+    else
+      verdict_of_issues (segment_issues cfg h schedule @ mwmr_issues cfg h schedule)
+  in
+  {
+    verdict;
+    ops = Oracles.History.length h;
+    duration = Sim.Vtime.to_int (Harness.Scenario.now scn);
+    stuck;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                          *)
+
+let partition items n =
+  let len = List.length items in
+  let arr = Array.of_list items in
+  List.init n (fun i ->
+      let lo = i * len / n and hi = (i + 1) * len / n in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+  |> List.filter (fun c -> c <> [])
+
+let complement_of items chunk =
+  (* chunks are contiguous slices, so physical-equality filtering works *)
+  List.filter (fun e -> not (List.memq e chunk)) items
+
+let shrink ?(log = ignore) cfg ~seed schedule verdict =
+  let runs = ref 0 in
+  let reproduces sched =
+    incr runs;
+    same_verdict (run_trial cfg ~seed sched).verdict verdict
+  in
+  (* Phase 1: ddmin over the event list. *)
+  let rec ddmin items n =
+    let len = List.length items in
+    if len <= 1 then items
+    else
+      let chunks = partition items n in
+      match List.find_opt reproduces chunks with
+      | Some c ->
+        log (Printf.sprintf "shrink: reduced to %d events" (List.length c));
+        ddmin c 2
+      | None -> (
+        let complements =
+          if n = 2 then [] (* complements of halves are the other halves *)
+          else List.map (complement_of items) chunks
+        in
+        match List.find_opt reproduces complements with
+        | Some c ->
+          log
+            (Printf.sprintf "shrink: reduced to %d events" (List.length c));
+          ddmin c (max (n - 1) 2)
+        | None -> if n < len then ddmin items (min (2 * n) len) else items)
+  in
+  let minimal =
+    if reproduces [] then []
+    else ddmin schedule (min 2 (max 1 (List.length schedule)))
+  in
+  (* Phase 2: halve window durations while the verdict survives. *)
+  let rec halve_window sched i =
+    match List.nth sched i with
+    | Schedule.Window w when w.duration > 1 ->
+      let candidate =
+        List.mapi
+          (fun j e ->
+            if j = i then Schedule.Window { w with duration = w.duration / 2 }
+            else e)
+          sched
+      in
+      if reproduces candidate then halve_window candidate i else sched
+    | _ -> sched
+    | exception _ -> sched
+  in
+  let minimal =
+    List.fold_left
+      (fun sched i -> halve_window sched i)
+      minimal
+      (List.init (List.length minimal) Fun.id)
+  in
+  (* Phase 3: drop individual roam assignments. *)
+  let drop_assign sched i =
+    match List.nth sched i with
+    | Schedule.Roam r when List.length r.assign > 1 ->
+      let rec try_drop assign k =
+        if k >= List.length assign then assign
+        else
+          let shorter = List.filteri (fun j _ -> j <> k) assign in
+          let candidate =
+            List.mapi
+              (fun j e ->
+                if j = i then Schedule.Roam { r with assign = shorter } else e)
+              sched
+          in
+          if reproduces candidate then try_drop shorter k
+          else try_drop assign (k + 1)
+      in
+      let assign = try_drop r.assign 0 in
+      List.mapi
+        (fun j e -> if j = i then Schedule.Roam { r with assign } else e)
+        sched
+    | _ -> sched
+    | exception _ -> sched
+  in
+  let minimal =
+    List.fold_left drop_assign minimal
+      (List.init (List.length minimal) Fun.id)
+  in
+  log
+    (Printf.sprintf "shrink: %d events -> %d events in %d runs"
+       (List.length schedule) (List.length minimal) !runs);
+  (minimal, !runs)
+
+(* ------------------------------------------------------------------ *)
+(* Repro artifacts                                                    *)
+
+type repro = {
+  seed : int;
+  config : config;
+  schedule : Schedule.t;
+  verdict : verdict;
+}
+
+let repro_schema = "stabreg/chaos-repro/v1"
+
+let initial_to_json initial =
+  Obs.Json.List
+    (List.map
+       (fun (slot, s) ->
+         Obs.Json.Obj
+           [
+             ("slot", Obs.Json.Int slot);
+             ("strategy", Obs.Json.Str (Strategy.to_string s));
+           ])
+       initial)
+
+let config_to_json c =
+  Obs.Json.Obj
+    [
+      ("family", Obs.Json.Str (family_to_string c.family));
+      ("n", Obs.Json.Int c.n);
+      ("f", Obs.Json.Int c.f);
+      ("medium", Obs.Json.Str (medium_to_string c.medium));
+      ("initial", initial_to_json c.initial);
+      ("writes", Obs.Json.Int c.writes);
+      ("reads", Obs.Json.Int c.reads);
+      ("read_budget", Obs.Json.Int c.read_budget);
+      ("gap_hi", Obs.Json.Int c.gap_hi);
+      ("horizon", Obs.Json.Int c.horizon);
+      ("injections", Obs.Json.Int c.injections);
+      ("roams", Obs.Json.Int c.roams);
+      ("roam_max", Obs.Json.Int c.roam_max);
+      ("windows", Obs.Json.Int c.windows);
+      ("window_max", Obs.Json.Int c.window_max);
+    ]
+
+let verdict_to_json = function
+  | Clean -> Obs.Json.Obj [ ("kind", Obs.Json.Str "clean") ]
+  | Violation { kind; count; detail } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str kind);
+        ("count", Obs.Json.Int count);
+        ("detail", Obs.Json.Str detail);
+      ]
+
+let repro_to_json r =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str repro_schema);
+      ("seed", Obs.Json.Int r.seed);
+      ("config", config_to_json r.config);
+      ("schedule", Schedule.to_json r.schedule);
+      ("verdict", verdict_to_json r.verdict);
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field ctx key j =
+  match Obs.Json.member key j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" ctx key)
+
+let as_int ctx j =
+  match Obs.Json.to_int_opt j with
+  | Some i -> Ok i
+  | None -> Error (ctx ^ ": expected an integer")
+
+let as_string ctx j =
+  match Obs.Json.to_string_opt j with
+  | Some s -> Ok s
+  | None -> Error (ctx ^ ": expected a string")
+
+let int_field ctx key j =
+  let* v = field ctx key j in
+  as_int (ctx ^ "." ^ key) v
+
+let str_field ctx key j =
+  let* v = field ctx key j in
+  as_string (ctx ^ "." ^ key) v
+
+let initial_of_json ctx j =
+  match Obs.Json.to_list_opt j with
+  | None -> Error (ctx ^ ": expected a list")
+  | Some items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* slot = int_field ctx "slot" item in
+        let* s = str_field ctx "strategy" item in
+        let* s = Strategy.of_string s in
+        Ok ((slot, s) :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+
+let config_of_json j =
+  let ctx = "config" in
+  let* family = str_field ctx "family" j in
+  let* family = family_of_string family in
+  let* n = int_field ctx "n" j in
+  let* f = int_field ctx "f" j in
+  let* medium = str_field ctx "medium" j in
+  let* medium = medium_of_string medium in
+  let* initial = field ctx "initial" j in
+  let* initial = initial_of_json (ctx ^ ".initial") initial in
+  let* writes = int_field ctx "writes" j in
+  let* reads = int_field ctx "reads" j in
+  let* read_budget = int_field ctx "read_budget" j in
+  let* gap_hi = int_field ctx "gap_hi" j in
+  let* horizon = int_field ctx "horizon" j in
+  let* injections = int_field ctx "injections" j in
+  let* roams = int_field ctx "roams" j in
+  let* roam_max = int_field ctx "roam_max" j in
+  let* windows = int_field ctx "windows" j in
+  let* window_max = int_field ctx "window_max" j in
+  Ok
+    {
+      family;
+      n;
+      f;
+      medium;
+      initial;
+      writes;
+      reads;
+      read_budget;
+      gap_hi;
+      horizon;
+      injections;
+      roams;
+      roam_max;
+      windows;
+      window_max;
+    }
+
+let verdict_of_json j =
+  let* kind = str_field "verdict" "kind" j in
+  if String.equal kind "clean" then Ok Clean
+  else
+    let* count = int_field "verdict" "count" j in
+    let* detail = str_field "verdict" "detail" j in
+    Ok (Violation { kind; count; detail })
+
+let repro_of_json j =
+  let* schema = str_field "repro" "schema" j in
+  if not (String.equal schema repro_schema) then
+    Error (Printf.sprintf "unsupported repro schema %S (want %S)" schema
+             repro_schema)
+  else
+    let* seed = int_field "repro" "seed" j in
+    let* config = field "repro" "config" j in
+    let* config = config_of_json config in
+    let* schedule = field "repro" "schedule" j in
+    let* schedule = Schedule.of_json schedule in
+    let* verdict = field "repro" "verdict" j in
+    let* verdict = verdict_of_json verdict in
+    Ok { seed; config; schedule; verdict }
+
+let replay ?on_scenario r =
+  run_trial ?on_scenario r.config ~seed:r.seed r.schedule
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                          *)
+
+type trial = {
+  index : int;
+  trial_seed : int;
+  events : int;
+  outcome : outcome;
+  repro : repro option;
+  shrink_runs : int;
+}
+
+type result = { config : config; seed : int; trials : trial list }
+
+let violations r =
+  List.filter (fun t -> not (same_verdict t.outcome.verdict Clean)) r.trials
+
+let trial_seed_for ~seed i = seed + (1_000_003 * i)
+
+let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) cfg ~seed
+    ~trials =
+  let one i =
+    let trial_seed = trial_seed_for ~seed i in
+    let schedule = generate cfg ~seed:trial_seed in
+    let on_scn = Option.map (fun f -> f ~trial:i) on_scenario in
+    let outcome = run_trial ?on_scenario:on_scn cfg ~seed:trial_seed schedule in
+    log
+      (Format.asprintf "trial %d (seed %d): %d events -> %a" i trial_seed
+         (List.length schedule) pp_verdict outcome.verdict);
+    match outcome.verdict with
+    | Clean ->
+      {
+        index = i;
+        trial_seed;
+        events = List.length schedule;
+        outcome;
+        repro = None;
+        shrink_runs = 0;
+      }
+    | Violation _ ->
+      let shrunk, shrink_runs =
+        if shrink_violations then
+          shrink ~log cfg ~seed:trial_seed schedule outcome.verdict
+        else (schedule, 0)
+      in
+      (* re-execute the minimal schedule so the artifact records its own
+         exact verdict, not the pre-shrink one *)
+      let final = run_trial cfg ~seed:trial_seed shrunk in
+      let repro =
+        {
+          seed = trial_seed;
+          config = cfg;
+          schedule = shrunk;
+          verdict = final.verdict;
+        }
+      in
+      {
+        index = i;
+        trial_seed;
+        events = List.length schedule;
+        outcome;
+        repro = Some repro;
+        shrink_runs = shrink_runs + 1;
+      }
+  in
+  { config = cfg; seed; trials = List.init trials one }

@@ -1,0 +1,202 @@
+type direction = To_servers | From_servers | Both
+
+type event =
+  | Inject of { at : int; prefix : string }
+  | Roam of { at : int; assign : (int * Strategy.t) list }
+  | Window of {
+      at : int;
+      duration : int;
+      loss : float;
+      dup : float;
+      dir : direction;
+      server : int option;
+    }
+
+type t = event list
+
+let time = function
+  | Inject { at; _ } | Roam { at; _ } | Window { at; _ } -> at
+
+let sort events =
+  List.stable_sort (fun a b -> Int.compare (time a) (time b)) events
+
+let disturbance_points events =
+  events
+  |> List.concat_map (function
+       | Inject { at; _ } | Roam { at; _ } -> [ at ]
+       | Window { at; duration; _ } -> [ at; at + duration ])
+  |> List.sort_uniq Int.compare
+
+let direction_to_string = function
+  | To_servers -> "to_servers"
+  | From_servers -> "from_servers"
+  | Both -> "both"
+
+let direction_of_string = function
+  | "to_servers" -> Ok To_servers
+  | "from_servers" -> Ok From_servers
+  | "both" -> Ok Both
+  | s -> Error (Printf.sprintf "unknown window direction %S" s)
+
+let event_to_json = function
+  | Inject { at; prefix } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "inject");
+        ("at", Obs.Json.Int at);
+        ("prefix", Obs.Json.Str prefix);
+      ]
+  | Roam { at; assign } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "roam");
+        ("at", Obs.Json.Int at);
+        ( "assign",
+          Obs.Json.List
+            (List.map
+               (fun (slot, s) ->
+                 Obs.Json.Obj
+                   [
+                     ("slot", Obs.Json.Int slot);
+                     ("strategy", Obs.Json.Str (Strategy.to_string s));
+                   ])
+               assign) );
+      ]
+  | Window { at; duration; loss; dup; dir; server } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "window");
+        ("at", Obs.Json.Int at);
+        ("duration", Obs.Json.Int duration);
+        ("loss", Obs.Json.Float loss);
+        ("dup", Obs.Json.Float dup);
+        ("dir", Obs.Json.Str (direction_to_string dir));
+        ( "server",
+          match server with
+          | Some s -> Obs.Json.Int s
+          | None -> Obs.Json.Null );
+      ]
+
+let to_json events = Obs.Json.List (List.map event_to_json events)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field ctx key j =
+  match Obs.Json.member key j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" ctx key)
+
+let as_int ctx j =
+  match Obs.Json.to_int_opt j with
+  | Some i -> Ok i
+  | None -> Error (ctx ^ ": expected an integer")
+
+let as_float ctx j =
+  match Obs.Json.to_float_opt j with
+  | Some x -> Ok x
+  | None -> Error (ctx ^ ": expected a number")
+
+let as_string ctx j =
+  match Obs.Json.to_string_opt j with
+  | Some s -> Ok s
+  | None -> Error (ctx ^ ": expected a string")
+
+let assign_of_json ctx j =
+  match Obs.Json.to_list_opt j with
+  | None -> Error (ctx ^ ": expected a list")
+  | Some items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* slot = field ctx "slot" item in
+        let* slot = as_int (ctx ^ ".slot") slot in
+        let* s = field ctx "strategy" item in
+        let* s = as_string (ctx ^ ".strategy") s in
+        let* s = Strategy.of_string s in
+        Ok ((slot, s) :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+
+let event_of_json j =
+  let* kind = field "event" "kind" j in
+  let* kind = as_string "event.kind" kind in
+  let* at = field "event" "at" j in
+  let* at = as_int "event.at" at in
+  match kind with
+  | "inject" ->
+    let* prefix = field "inject" "prefix" j in
+    let* prefix = as_string "inject.prefix" prefix in
+    Ok (Inject { at; prefix })
+  | "roam" ->
+    let* assign = field "roam" "assign" j in
+    let* assign = assign_of_json "roam.assign" assign in
+    Ok (Roam { at; assign })
+  | "window" ->
+    let* duration = field "window" "duration" j in
+    let* duration = as_int "window.duration" duration in
+    let* loss = field "window" "loss" j in
+    let* loss = as_float "window.loss" loss in
+    let* dup = field "window" "dup" j in
+    let* dup = as_float "window.dup" dup in
+    let* dir = field "window" "dir" j in
+    let* dir = as_string "window.dir" dir in
+    let* dir = direction_of_string dir in
+    let* server =
+      match Obs.Json.member "server" j with
+      | None | Some Obs.Json.Null -> Ok None
+      | Some s ->
+        let* s = as_int "window.server" s in
+        Ok (Some s)
+    in
+    Ok (Window { at; duration; loss; dup; dir; server })
+  | k -> Error (Printf.sprintf "unknown event kind %S" k)
+
+let of_json j =
+  match Obs.Json.to_list_opt j with
+  | None -> Error "schedule: expected a list"
+  | Some items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* ev = event_of_json item in
+        Ok (ev :: acc))
+      (Ok []) items
+    |> Result.map (fun evs -> sort (List.rev evs))
+
+let event_equal a b =
+  match (a, b) with
+  | Inject a, Inject b -> a.at = b.at && String.equal a.prefix b.prefix
+  | Roam a, Roam b ->
+    a.at = b.at
+    && List.length a.assign = List.length b.assign
+    && List.for_all2
+         (fun (sa, ta) (sb, tb) -> sa = sb && Strategy.equal ta tb)
+         a.assign b.assign
+  | Window a, Window b ->
+    a.at = b.at && a.duration = b.duration
+    && Float.equal a.loss b.loss
+    && Float.equal a.dup b.dup
+    && a.dir = b.dir && a.server = b.server
+  | (Inject _ | Roam _ | Window _), _ -> false
+
+let equal a b =
+  List.length a = List.length b && List.for_all2 event_equal a b
+
+let pp_event fmt = function
+  | Inject { at; prefix } ->
+    Format.fprintf fmt "@%d inject %S" at
+      (if prefix = "" then "*" else prefix)
+  | Roam { at; assign } ->
+    Format.fprintf fmt "@%d roam {%s}" at
+      (String.concat ", "
+         (List.map
+            (fun (slot, s) ->
+              Printf.sprintf "s%d:%s" slot (Strategy.to_string s))
+            assign))
+  | Window { at; duration; loss; dup; dir; server } ->
+    Format.fprintf fmt "@%d window %dt loss=%g dup=%g %s%s" at duration loss
+      dup
+      (direction_to_string dir)
+      (match server with
+      | Some s -> Printf.sprintf " s%d" s
+      | None -> "")

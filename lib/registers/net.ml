@@ -305,6 +305,32 @@ let ss_broadcast t port ~inst body =
               end)));
   env.Messages.round
 
+type chaos_dir = [ `To_servers | `From_servers | `Both ]
+
+let set_port_chaos port ?(dir = `Both) ?server ~loss ~dup () =
+  match port.transport with
+  | Direct -> 0
+  | Lossy { to_servers; reply_senders } ->
+    let touched = ref 0 in
+    let apply arr =
+      Array.iteri
+        (fun s tr ->
+          match server with
+          | Some k when k <> s -> ()
+          | Some _ | None ->
+            Ss_transport.set_loss tr loss;
+            Ss_transport.set_dup tr dup;
+            incr touched)
+        arr
+    in
+    (match dir with
+    | `To_servers -> apply to_servers
+    | `From_servers -> apply reply_senders
+    | `Both ->
+      apply to_servers;
+      apply reply_senders);
+    !touched
+
 let corrupt_transport port rng =
   match port.transport with
   | Direct -> ()

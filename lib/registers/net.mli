@@ -64,6 +64,25 @@ val create :
     links touching correct processes.  [medium] defaults to
     [Reliable_fifo]. *)
 
+type chaos_dir = [ `To_servers | `From_servers | `Both ]
+
+val set_port_chaos :
+  client_port ->
+  ?dir:chaos_dir ->
+  ?server:int ->
+  loss:float ->
+  dup:float ->
+  unit ->
+  int
+(** Runtime link-chaos knob (only meaningful under the [Stabilizing]
+    medium): retune loss/duplication on the port's transports.  [dir]
+    (default [`Both]) selects the client-to-server direction, the
+    acknowledgment direction, or both; [server], when given, restricts the
+    change to the links touching that one server slot — [loss = 1.0] on a
+    single slot is a directed partition.  Returns how many transports were
+    adjusted ([0] under [Reliable_fifo], where links are reliable by
+    assumption and there is nothing to retune). *)
+
 val corrupt_transport : client_port -> Sim.Rng.t -> unit
 (** Transient fault on the port's [Stabilizing] transports (both ends' tag
     state and packets in flight); no-op under [Reliable_fifo]. *)

@@ -160,6 +160,14 @@ let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?(retrans = 25)
          ());
   t
 
+let set_loss t p =
+  Sim.Lossy_link.set_loss t.data p;
+  match t.acks with Some acks -> Sim.Lossy_link.set_loss acks p | None -> ()
+
+let set_dup t p =
+  Sim.Lossy_link.set_dup t.data p;
+  match t.acks with Some acks -> Sim.Lossy_link.set_dup acks p | None -> ()
+
 let send t ?on_delivered m =
   Queue.push (m, on_delivered) t.queue;
   pump t

@@ -42,6 +42,15 @@ val create :
     classifies as [Link_ack].  Retransmissions bump the
     ["transport.retrans"] counter. *)
 
+val set_loss : 'm t -> float -> unit
+(** Runtime chaos knob: retune the loss probability of both underlying
+    media (data and acknowledgment links).  [1.0] partitions the link —
+    the stop-and-wait sender keeps retransmitting, so traffic resumes and
+    nothing queued is lost once the rate is lowered again. *)
+
+val set_dup : 'm t -> float -> unit
+(** Runtime chaos knob for the duplication probability of both media. *)
+
 val send : 'm t -> ?on_delivered:(unit -> unit) -> 'm -> unit
 (** Queue a message.  [on_delivered] fires when the sender learns (from
     the acknowledgment) that the receiver delivered it — strictly after

@@ -8,15 +8,22 @@ let register t ~name corrupt = t.targets <- { name; corrupt } :: t.targets
 
 let names t = List.rev_map (fun tg -> tg.name) t.targets
 
-let starts_with ~prefix s =
-  String.length s >= String.length prefix
-  && String.equal (String.sub s 0 (String.length prefix)) prefix
+(* Matching respects dot-separated segment boundaries: "server.1" hits
+   "server.1" and "server.1.cell" but never "server.10" — a bare prefix
+   must cover whole segments, while a prefix ending in '.' (or the empty
+   prefix) matches anything it is a string-prefix of. *)
+let matches ~prefix name =
+  let pl = String.length prefix and nl = String.length name in
+  pl = 0
+  || (nl >= pl
+      && String.equal (String.sub name 0 pl) prefix
+      && (nl = pl || prefix.[pl - 1] = '.' || name.[pl] = '.'))
 
 let inject_matching t ~rng ~prefix =
   let hit = ref 0 in
   List.iter
     (fun tg ->
-      if starts_with ~prefix tg.name then begin
+      if matches ~prefix tg.name then begin
         incr hit;
         tg.corrupt rng
       end)

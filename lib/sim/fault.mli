@@ -22,8 +22,11 @@ val names : t -> string list
 (** Registered target names, in registration order (duplicates kept). *)
 
 val inject_matching : t -> rng:Rng.t -> prefix:string -> int
-(** Corrupt every target whose name starts with [prefix]; returns how many
-    targets were hit. *)
+(** Corrupt every target [prefix] matches; returns how many targets were
+    hit.  Matching respects dot-separated segment boundaries: a prefix must
+    cover whole segments (["server.1"] hits ["server.1"] and
+    ["server.1.cell"] but not ["server.10"]); a prefix ending in ['.'] — or
+    the empty prefix — plain string-prefix-matches. *)
 
 val inject_all : t -> rng:Rng.t -> int
 (** Corrupt every registered target (a full "arbitrary configuration"). *)

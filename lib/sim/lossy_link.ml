@@ -4,8 +4,8 @@ type 'm t = {
   engine : Engine.t;
   rng : Rng.t;
   delay : Link.sampler;
-  loss : float;
-  dup : float;
+  mutable loss : float;
+  mutable dup : float;
   name : string;
   classify : ('m -> Obs.Event.msg_class) option;
   deliver : 'm -> unit;
@@ -33,6 +33,36 @@ let create ~engine ~rng ~delay ?(loss = 0.0) ?(dup = 0.0) ?classify ~name
     next_id = 0;
     flight = [];
   }
+
+let loss t = t.loss
+
+let dup t = t.dup
+
+(* Chaos windows retune a live link; the mark makes the window visible in
+   event traces next to the drops it causes. *)
+let mark_change t ~knob ~from ~to_ =
+  let hub = Engine.hub t.engine in
+  if Obs.Hub.active hub then
+    Obs.Hub.emit hub
+      (Obs.Event.Mark
+         {
+           time = Vtime.to_int (Engine.now t.engine);
+           label = Printf.sprintf "link.%s.%s:%g->%g" t.name knob from to_;
+         })
+
+let set_loss t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Lossy_link.set_loss: loss must be in [0,1]";
+  if p <> t.loss then begin
+    mark_change t ~knob:"loss" ~from:t.loss ~to_:p;
+    t.loss <- p
+  end
+
+let set_dup t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Lossy_link.set_dup: dup must be in [0,1]";
+  if p <> t.dup then begin
+    mark_change t ~knob:"dup" ~from:t.dup ~to_:p;
+    t.dup <- p
+  end
 
 let record_drop t payload =
   incr t.dropped;

@@ -26,6 +26,24 @@ val create :
     the typed [Drop] events this link emits for lost packets (losses
     always bump the ["net.dropped"] counter). *)
 
+val set_loss : 'm t -> float -> unit
+(** Runtime chaos knob: retune the loss probability of a live link.
+    Accepts the full [\[0,1\]] range — [1.0] is a directed partition that
+    drops every subsequent non-injected packet until lowered again.  A
+    change emits an [Obs.Event.Mark] (["link.<name>.loss:<old>-><new>"]) so
+    chaos windows are visible in event traces.  Raises [Invalid_argument]
+    outside [\[0,1\]]. *)
+
+val set_dup : 'm t -> float -> unit
+(** Runtime chaos knob for the duplication probability; same contract and
+    mark as {!set_loss}. *)
+
+val loss : 'm t -> float
+(** Current loss probability. *)
+
+val dup : 'm t -> float
+(** Current duplication probability. *)
+
 val send : 'm t -> 'm -> unit
 (** Transmit one packet (counted in the trace counter ["net.pkts"] even
     when subsequently lost; deliveries bump ["net.msgs"]). *)

@@ -58,6 +58,43 @@ let test_delayed () =
   in
   Alcotest.(check (option value)) "tolerated" (Some (int_value 8)) got
 
+(* Soak a concurrent writer/reader pair over an atomic register with the
+   given slot-0 behavior and assert the whole history is atomic (no
+   cutoff: there are no transient faults, only the Byzantine server). *)
+let soak_atomic_with ?(seed = 23) behavior =
+  let scn = async_scenario ~seed () in
+  Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 0
+    (behavior scn);
+  let w = Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 () in
+  let r = Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:101 ~inst:0 () in
+  run_fibers scn
+    [
+      ( "writer",
+        fun () ->
+          Harness.Workload.writer_job scn ~write:(Swsr_atomic.write w)
+            ~count:120 ~gap:(Harness.Workload.gap 0 15) () );
+      ( "reader",
+        fun () ->
+          Harness.Workload.reader_job scn
+            ~read:(fun () -> Swsr_atomic.read r)
+            ~count:100 ~gap:(Harness.Workload.gap 0 20) () );
+    ];
+  let h = scn.Harness.Scenario.history in
+  check_int "all reads answered" 100 (Harness.Metrics.ok_reads h);
+  let report = Oracles.Atomicity.Sw.check h in
+  if not (Oracles.Atomicity.Sw.is_clean report) then
+    Alcotest.failf "%a" Oracles.Atomicity.Sw.pp report
+
+let test_flaky_soak_atomic () =
+  soak_atomic_with (fun scn ->
+      Byzantine.Behavior.flaky ~drop_probability:0.5
+        (Byzantine.Adversary.server scn.Harness.Scenario.adversary 0))
+
+let test_delayed_soak_atomic () =
+  soak_atomic_with (fun scn ->
+      Byzantine.Behavior.delayed ~by:40
+        (Byzantine.Adversary.server scn.Harness.Scenario.adversary 0))
+
 let test_collude_below_threshold_harmless () =
   let junk = { Messages.sn = 999; v = Value.str "forged" } in
   let _, got =
@@ -160,6 +197,8 @@ let tests =
     case "frozen tolerated" test_frozen;
     case "flaky tolerated" test_flaky;
     case "delayed tolerated" test_delayed;
+    case "flaky soak stays atomic" test_flaky_soak_atomic;
+    case "delayed soak stays atomic" test_delayed_soak_atomic;
     case "lone colluder harmless" test_collude_below_threshold_harmless;
     case "crash-stop tolerated" test_crash_after;
     case "collusion at quorum forges reads" test_collude_at_quorum_forges_reads;

@@ -1,0 +1,220 @@
+open Util
+open Chaos
+
+(* --- strategies --- *)
+
+let test_strategy_round_trip () =
+  List.iter
+    (fun s ->
+      match Strategy.of_string (Strategy.to_string s) with
+      | Ok s' ->
+        check_true ("round-trip " ^ Strategy.to_string s) (Strategy.equal s s')
+      | Error e -> Alcotest.fail e)
+    [
+      Strategy.Silent;
+      Strategy.Garbage;
+      Strategy.Equivocate;
+      Strategy.Frozen;
+      Strategy.Collude;
+      Strategy.Flaky 0.3341;
+      Strategy.Flaky (1.0 /. 3.0);
+      Strategy.Delayed 40;
+      Strategy.Crash 5;
+    ];
+  check_true "unknown name rejected"
+    (Result.is_error (Strategy.of_string "nonsense"));
+  check_true "bad probability rejected"
+    (Result.is_error (Strategy.of_string "flaky:2.0"))
+
+(* --- schedules --- *)
+
+let cfg = Campaign.default_config ~family:Campaign.Regular
+
+let test_generate_deterministic () =
+  let a = Campaign.generate cfg ~seed:99 in
+  let b = Campaign.generate cfg ~seed:99 in
+  check_true "same seed, same schedule" (Schedule.equal a b);
+  let c = Campaign.generate cfg ~seed:100 in
+  check_true "different seed, different schedule" (not (Schedule.equal a c));
+  check_true "sorted by time"
+    (List.for_all2
+       (fun x y -> Schedule.time x <= Schedule.time y)
+       a (List.tl a @ [ List.nth a (List.length a - 1) ]))
+
+let test_schedule_json_round_trip () =
+  let lossy_cfg = { cfg with Campaign.medium = Campaign.Lossy } in
+  let sched = Campaign.generate lossy_cfg ~seed:4242 in
+  check_true "windows generated under the lossy medium"
+    (List.exists (function Schedule.Window _ -> true | _ -> false) sched);
+  match Schedule.of_json (Schedule.to_json sched) with
+  | Ok sched' ->
+    check_true "schedule JSON round-trips exactly (floats included)"
+      (Schedule.equal sched sched')
+  | Error e -> Alcotest.fail e
+
+let test_disturbance_points () =
+  let sched =
+    [
+      Schedule.Inject { at = 100; prefix = "server." };
+      Schedule.Window
+        {
+          at = 50;
+          duration = 30;
+          loss = 1.0;
+          dup = 0.0;
+          dir = Schedule.Both;
+          server = None;
+        };
+      Schedule.Roam { at = 100; assign = [] };
+    ]
+  in
+  check_true "window close included, duplicates merged"
+    (Schedule.disturbance_points sched = [ 50; 80; 100 ])
+
+(* --- trials --- *)
+
+let test_run_trial_deterministic () =
+  let sched = Campaign.generate cfg ~seed:7 in
+  let a = Campaign.run_trial cfg ~seed:7 sched in
+  let b = Campaign.run_trial cfg ~seed:7 sched in
+  check_true "same verdict" (Campaign.same_verdict a.verdict b.verdict);
+  check_int "same op count" a.Campaign.ops b.Campaign.ops;
+  check_int "same duration" a.Campaign.duration b.Campaign.duration
+
+let test_campaign_clean_under_bound () =
+  (* Within t < n/8 every generated schedule must leave the register
+     regular after each stabilizing write. *)
+  let r = Campaign.run cfg ~seed:5 ~trials:3 in
+  check_int "no violations under the bound" 0
+    (List.length (Campaign.violations r));
+  List.iter
+    (fun (t : Campaign.trial) ->
+      check_true "clean trials carry no repro" (t.repro = None))
+    r.Campaign.trials
+
+let test_campaign_atomic_lossy_clean () =
+  let lossy_cfg =
+    {
+      (Campaign.default_config ~family:Campaign.Atomic) with
+      Campaign.medium = Campaign.Lossy;
+    }
+  in
+  let r = Campaign.run lossy_cfg ~seed:5 ~trials:2 in
+  check_int "atomic over lossy links stays clean" 0
+    (List.length (Campaign.violations r))
+
+(* --- violations, shrinking, replay --- *)
+
+let collude_cfg =
+  {
+    cfg with
+    Campaign.initial =
+      [
+        (0, Strategy.Collude); (1, Strategy.Collude); (2, Strategy.Collude);
+      ];
+  }
+
+let test_collusion_above_bound_violates_and_replays () =
+  let r = Campaign.run collude_cfg ~seed:11 ~trials:1 in
+  match Campaign.violations r with
+  | [ t ] -> (
+    check_true "regularity violated"
+      (Campaign.verdict_kind t.outcome.Campaign.verdict = "regularity");
+    match t.repro with
+    | None -> Alcotest.fail "violating trial must carry a repro"
+    | Some repro ->
+      (* The violation lives in the config (initial colluders), so the
+         minimal schedule is empty. *)
+      check_int "shrunk to the empty schedule" 0
+        (List.length repro.Campaign.schedule);
+      (* The artifact round-trips through JSON and replays to the same
+         verdict. *)
+      let json =
+        Obs.Json.parse_exn
+          (Obs.Json.to_string (Campaign.repro_to_json repro))
+      in
+      (match Campaign.repro_of_json json with
+      | Error e -> Alcotest.fail e
+      | Ok repro' ->
+        check_true "repro JSON round-trips"
+          (Schedule.equal repro.Campaign.schedule repro'.Campaign.schedule
+          && repro.Campaign.seed = repro'.Campaign.seed);
+        let replayed = Campaign.replay repro' in
+        check_true "replay reproduces the verdict"
+          (Campaign.same_verdict replayed.Campaign.verdict
+             repro.Campaign.verdict)))
+  | other -> Alcotest.failf "expected 1 violation, got %d" (List.length other)
+
+let test_shrink_keeps_the_essential_roam () =
+  (* A hand-crafted schedule: noise injections around one mobile sweep
+     that installs a colluding quorum (3 = 2t+1 at n=9) on the
+     lowest-numbered slots — the reader's quorum scan walks slots in
+     order, so only there are the colluders seen before the honest
+     majority.  Shrinking must strip the noise but keep the roam, and
+     keep all three colluders (dropping any one dissolves the quorum). *)
+  let colluders =
+    [
+      (0, Strategy.Collude); (1, Strategy.Collude); (2, Strategy.Collude);
+    ]
+  in
+  let sched =
+    Schedule.sort
+      [
+        Schedule.Inject { at = 200; prefix = "server." };
+        Schedule.Inject { at = 400; prefix = "client." };
+        Schedule.Roam { at = 600; assign = colluders };
+        Schedule.Inject { at = 800; prefix = "link." };
+        Schedule.Inject { at = 1000; prefix = "server.2" };
+      ]
+  in
+  let outcome = Campaign.run_trial cfg ~seed:31 sched in
+  check_true "colluding roam violates regularity"
+    (Campaign.verdict_kind outcome.Campaign.verdict = "regularity");
+  let shrunk, runs =
+    Campaign.shrink cfg ~seed:31 sched outcome.Campaign.verdict
+  in
+  check_true "shrinking re-executed the trial" (runs > 0);
+  (match shrunk with
+  | [ Schedule.Roam { assign; _ } ] ->
+    check_int "all three colluders essential" 3 (List.length assign)
+  | _ ->
+    Alcotest.failf "expected exactly the roam to survive, got %d event(s)"
+      (List.length shrunk));
+  (* The minimal schedule still reproduces. *)
+  let replayed = Campaign.run_trial cfg ~seed:31 shrunk in
+  check_true "minimal schedule reproduces"
+    (Campaign.same_verdict replayed.Campaign.verdict outcome.Campaign.verdict)
+
+(* --- mobile adversary bookkeeping --- *)
+
+let test_roam_bookkeeping () =
+  let scn = async_scenario ~n:17 ~f:2 () in
+  let adv = scn.Harness.Scenario.adversary in
+  Byzantine.Adversary.roam adv
+    [ (1, Byzantine.Behavior.silent); (4, Byzantine.Behavior.garbage) ];
+  check_true "both compromised" (Byzantine.Adversary.byzantine_ids adv = [ 1; 4 ]);
+  Byzantine.Adversary.roam adv [ (4, Byzantine.Behavior.silent); (6, Byzantine.Behavior.silent) ];
+  check_true "set moved" (Byzantine.Adversary.byzantine_ids adv = [ 4; 6 ]);
+  check_true "vacated slot correct again"
+    (Registers.Net.is_correct scn.Harness.Scenario.net 1);
+  Byzantine.Adversary.roam adv [];
+  check_true "adversary retired" (Byzantine.Adversary.byzantine_ids adv = []);
+  check_true "all correct"
+    (List.for_all
+       (Registers.Net.is_correct scn.Harness.Scenario.net)
+       (List.init 17 Fun.id))
+
+let tests =
+  [
+    case "strategy wire names round-trip" test_strategy_round_trip;
+    case "generation is seed-deterministic" test_generate_deterministic;
+    case "schedule JSON round-trips" test_schedule_json_round_trip;
+    case "disturbance points" test_disturbance_points;
+    case "trials are seed-deterministic" test_run_trial_deterministic;
+    case "campaign clean under the bound" test_campaign_clean_under_bound;
+    case "atomic campaign over lossy links" test_campaign_atomic_lossy_clean;
+    case "collusion above the bound: violate, shrink, replay"
+      test_collusion_above_bound_violates_and_replays;
+    case "shrinking keeps the essential roam" test_shrink_keeps_the_essential_roam;
+    case "mobile roam bookkeeping" test_roam_bookkeeping;
+  ]

@@ -69,6 +69,46 @@ let test_lossy_corrupt_in_flight () =
   Sim.Engine.run engine;
   check_true "rewritten and dropped" (!received = [ 99 ])
 
+let test_lossy_set_loss_window () =
+  (* A loss:1.0 window drops everything; closing it restores delivery. *)
+  let engine, link, received = mk_lossy ~seed:6 () in
+  let sink, events = Obs.Sink.memory () in
+  Obs.Hub.attach (Sim.Engine.hub engine) sink;
+  Sim.Lossy_link.set_loss link 1.0;
+  check_true "knob readable" (Sim.Lossy_link.loss link = 1.0);
+  for i = 1 to 20 do
+    Sim.Lossy_link.send link i
+  done;
+  Sim.Engine.run engine;
+  check_int "window drops everything" 0 (List.length !received);
+  Sim.Lossy_link.set_loss link 0.0;
+  for i = 21 to 40 do
+    Sim.Lossy_link.send link i
+  done;
+  Sim.Engine.run engine;
+  check_int "delivery restored after the window" 20 (List.length !received);
+  let marks =
+    List.filter
+      (function
+        | Obs.Event.Mark { label; _ } ->
+          String.length label >= 5 && String.sub label 0 5 = "link."
+        | _ -> false)
+      (events ())
+  in
+  check_int "one mark per knob change" 2 (List.length marks)
+
+let test_lossy_set_knobs_validate () =
+  let engine, link, _ = mk_lossy () in
+  Alcotest.check_raises "loss out of range"
+    (Invalid_argument "Lossy_link.set_loss: loss must be in [0,1]") (fun () ->
+      Sim.Lossy_link.set_loss link 1.5);
+  Alcotest.check_raises "dup out of range"
+    (Invalid_argument "Lossy_link.set_dup: dup must be in [0,1]") (fun () ->
+      Sim.Lossy_link.set_dup link (-0.1));
+  Sim.Lossy_link.set_dup link 0.25;
+  check_true "dup knob readable" (Sim.Lossy_link.dup link = 0.25);
+  ignore engine
+
 (* --- the self-stabilizing transport --- *)
 
 let mk_transport ?(loss = 0.3) ?(dup = 0.2) ?(seed = 7) () =
@@ -147,6 +187,31 @@ let test_transport_recovers_from_corruption () =
   check_true "post-fault stream re-synchronized"
     (deduped = List.init 20 (fun i -> i + 11));
   ignore before
+
+let test_transport_survives_total_loss_window () =
+  (* A loss:1.0 window on the transport: retransmissions are futile while
+     it lasts, but once the window closes the stop-and-wait protocol
+     drains everything exactly-once in order. *)
+  let engine, tr, received = mk_transport ~loss:0.0 ~dup:0.0 ~seed:21 () in
+  for i = 1 to 5 do
+    Ss_transport.send tr i
+  done;
+  Sim.Engine.run engine;
+  check_int "pre-window messages through" 5 (List.length !received);
+  Ss_transport.set_loss tr 1.0;
+  for i = 6 to 15 do
+    Ss_transport.send tr i
+  done;
+  (* Bound the run: with total loss the retransmission timer ticks
+     forever, so quiescence never comes while the window is open. *)
+  Sim.Engine.run ~until:(Sim.Vtime.of_int 2_000) engine;
+  check_int "window blocks everything" 5 (List.length !received);
+  check_true "sends still pending" (Ss_transport.pending tr > 0);
+  Ss_transport.set_loss tr 0.0;
+  Sim.Engine.run engine;
+  check_true "transport recovered after the window"
+    (List.rev !received = List.init 15 (fun i -> i + 1));
+  check_int "nothing pending" 0 (Ss_transport.pending tr)
 
 let test_transport_tag_wrap () =
   (* A tiny tag space: the wrapping tag stays exactly-once FIFO through
@@ -287,6 +352,10 @@ let tests =
     case "lossy: duplicates" test_lossy_duplicates;
     case "lossy: inject lossless" test_lossy_inject_never_lost;
     case "lossy: corrupt in flight" test_lossy_corrupt_in_flight;
+    case "lossy: runtime loss window" test_lossy_set_loss_window;
+    case "lossy: knob validation" test_lossy_set_knobs_validate;
+    case "transport: total-loss window then recovery"
+      test_transport_survives_total_loss_window;
     case "transport: exactly-once in order" test_transport_exactly_once_in_order;
     case "transport: on_delivered ordering" test_transport_on_delivered_fires_after_delivery;
     case "transport: retransmission cost" test_transport_cost_grows_with_loss;

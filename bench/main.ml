@@ -158,6 +158,58 @@ let bench_checker =
   Test.make ~name:"oracle: atomicity check, 200-op history"
     (Staged.stage (fun () -> ignore (Oracles.Atomicity.Sw.check h)))
 
+(* --- model checker --- *)
+
+(* The exhaustive tiny configuration from the mc test suite: small enough
+   that one full search fits a staged run, so the ns/op row tracks the
+   end-to-end cost of an exhaustive verification. *)
+let mc_tiny_cfg =
+  {
+    Mc.Config.family = Mc.Config.Regular;
+    n = 3;
+    f = 0;
+    byz = [];
+    writes = 1;
+    reads = 1;
+    read_budget = 2;
+    menu = [];
+    oracle = Mc.Config.Family_default;
+  }
+
+let bench_mc_exhaustive =
+  Test.make ~name:"mc: exhaustive search (regular, n=3, t=0)"
+    (Staged.stage (fun () -> ignore (Mc.Checker.search mc_tiny_cfg)))
+
+(* Explorer throughput: states expanded per second and the peak size of
+   the canonicalized visited set.  These are one-shot measurements (a
+   bounded search is too slow for a staged run and its cost is dominated
+   by replayed prefixes anyway), reported alongside the bechamel rows. *)
+let mc_throughput_rows () =
+  let measure name ?budgets cfg =
+    let t0 = Sys.time () in
+    let o = Mc.Checker.search ?budgets cfg in
+    let dt = Sys.time () -. t0 in
+    let s = o.Mc.Checker.stats in
+    ( name,
+      s.Mc.Checker.states,
+      s.Mc.Checker.peak_visited,
+      dt,
+      float_of_int s.Mc.Checker.states /. dt,
+      o.Mc.Checker.exhaustive )
+  in
+  [
+    measure "mc: regular n=3 t=0 (exhaustive)" mc_tiny_cfg;
+    measure "mc: regular n=4 t=1, 1 silent byz (10k-state budget)"
+      ~budgets:{ Mc.Checker.max_states = 10_000; max_depth = 10_000 }
+      {
+        mc_tiny_cfg with
+        Mc.Config.n = 4;
+        f = 1;
+        byz = [ (0, Mc.Config.Silent) ];
+        read_budget = 8;
+      };
+  ]
+
 (* --- data link --- *)
 
 let altbit_ops () =
@@ -200,6 +252,7 @@ let tests =
         swmr_wb_ops;
       bench_register ~name:"mwmr: write+read (m=3, n=9)" mwmr_ops;
       bench_register ~name:"kv: set+get (m=2, n=9)" kv_ops;
+      bench_mc_exhaustive;
     ]
 
 let () =
@@ -230,6 +283,15 @@ let () =
     (fun (name, ns) ->
       Printf.printf "%-52s %14.1f %12.0f\n" name ns (1e9 /. ns))
     rows;
+  let mc_rows = mc_throughput_rows () in
+  Printf.printf "\n%-52s %10s %12s %12s\n" "model checker" "states"
+    "states/s" "peak visited";
+  Printf.printf "%s\n" (String.make 90 '-');
+  List.iter
+    (fun (name, states, peak, _dt, sps, exhaustive) ->
+      Printf.printf "%-52s %10d %12.0f %12d%s\n" name states sps peak
+        (if exhaustive then "" else "  (budget)"))
+    mc_rows;
   (* Machine-readable companion: same rows, stable schema. *)
   let json =
     Obs.Json.Obj
@@ -249,6 +311,22 @@ let () =
                      ("ops_per_sec", num (1e9 /. ns));
                    ])
                rows) );
+        (* Additive to the v1 schema: explorer throughput, measured
+           one-shot rather than via OLS. *)
+        ( "mc",
+          Obs.Json.List
+            (List.map
+               (fun (name, states, peak, dt, sps, exhaustive) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str name);
+                     ("states", Obs.Json.Int states);
+                     ("peak_visited", Obs.Json.Int peak);
+                     ("seconds", Obs.Json.Float dt);
+                     ("states_per_sec", Obs.Json.Float sps);
+                     ("exhaustive", Obs.Json.Bool exhaustive);
+                   ])
+               mc_rows) );
       ]
   in
   let oc = open_out "BENCH_1.json" in

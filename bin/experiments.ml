@@ -310,6 +310,329 @@ let chaos_cmd =
        $ medium_arg $ out_arg $ replay_arg $ expect_arg $ seed_arg $ json_arg
        $ trace_out_arg))
 
+let mc_cmd =
+  let mc_family_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Mc.Config.family_of_string s)),
+        fun fmt f -> Format.pp_print_string fmt (Mc.Config.family_to_string f)
+      )
+  in
+  let byz_kind_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "silent" ] -> Ok Mc.Config.Silent
+      | [ "collude" ] -> Ok (Mc.Config.Collude { sn = 99; v = 999 })
+      | [ "collude"; sn; v ] -> (
+        match (int_of_string_opt sn, int_of_string_opt v) with
+        | Some sn, Some v -> Ok (Mc.Config.Collude { sn; v })
+        | _ -> Error (`Msg "collude:<sn>:<v> wants integers"))
+      | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown byzantine behavior %S (silent, collude, \
+                 collude:<sn>:<v>)"
+                s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt k ->
+          Format.pp_print_string fmt
+            (match k with
+            | Mc.Config.Silent -> "silent"
+            | Mc.Config.Collude { sn; v } ->
+              Printf.sprintf "collude:%d:%d" sn v) )
+  in
+  let corrupt_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "server"; i; sn; v ] -> (
+        match
+          (int_of_string_opt i, int_of_string_opt sn, int_of_string_opt v)
+        with
+        | Some server, Some sn, Some v ->
+          Ok (Mc.Config.Corrupt_server { server; sn; v })
+        | _ -> Error (`Msg "server:<i>:<sn>:<v> wants integers"))
+      | [ "reader"; pwsn; v ] -> (
+        match (int_of_string_opt pwsn, int_of_string_opt v) with
+        | Some pwsn, Some v -> Ok (Mc.Config.Corrupt_reader { pwsn; v })
+        | _ -> Error (`Msg "reader:<pwsn>:<v> wants integers"))
+      | [ "writer"; sn ] -> (
+        match int_of_string_opt sn with
+        | Some sn -> Ok (Mc.Config.Corrupt_writer_sn sn)
+        | None -> Error (`Msg "writer:<sn> wants an integer"))
+      | [ "round"; client; round ] -> (
+        match (int_of_string_opt client, int_of_string_opt round) with
+        | Some client, Some round ->
+          Ok (Mc.Config.Corrupt_round { client; round })
+        | _ -> Error (`Msg "round:<client>:<round> wants integers"))
+      | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown corruption %S (server:<i>:<sn>:<v>, \
+                 reader:<pwsn>:<v>, writer:<sn>, round:<client>:<round>)"
+                s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt c ->
+          Format.pp_print_string fmt
+            (match c with
+            | Mc.Config.Corrupt_server { server; sn; v } ->
+              Printf.sprintf "server:%d:%d:%d" server sn v
+            | Mc.Config.Corrupt_reader { pwsn; v } ->
+              Printf.sprintf "reader:%d:%d" pwsn v
+            | Mc.Config.Corrupt_writer_sn sn -> Printf.sprintf "writer:%d" sn
+            | Mc.Config.Corrupt_round { client; round } ->
+              Printf.sprintf "round:%d:%d" client round) )
+  in
+  let family_arg =
+    let doc =
+      "Register family to check: $(b,regular), $(b,atomic) or $(b,mwmr)."
+    in
+    Arg.(
+      value
+      & opt mc_family_conv Mc.Config.Regular
+      & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let servers_arg =
+    let doc = "Number of servers n." in
+    Arg.(value & opt int 9 & info [ "servers" ] ~docv:"N" ~doc)
+  in
+  let t_arg =
+    let doc = "Declared fault bound t the protocol is parameterized with." in
+    Arg.(value & opt int 1 & info [ "t"; "fault-bound" ] ~docv:"T" ~doc)
+  in
+  let byz_arg =
+    let doc =
+      "Make the first $(docv) server slots Byzantine.  More than t slots \
+       deliberately exceeds the paper's t < n/8 resilience bound."
+    in
+    Arg.(value & opt int 0 & info [ "byz" ] ~docv:"K" ~doc)
+  in
+  let strategy_arg =
+    let doc =
+      "Deterministic behavior of the $(b,--byz) slots: $(b,silent), \
+       $(b,collude) or $(b,collude:<sn>:<v>)."
+    in
+    Arg.(
+      value
+      & opt byz_kind_conv Mc.Config.Silent
+      & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let writes_arg =
+    let doc = "Writes per writer." in
+    Arg.(value & opt int 1 & info [ "writes" ] ~docv:"K" ~doc)
+  in
+  let reads_arg =
+    let doc = "Reads per reader." in
+    Arg.(value & opt int 1 & info [ "reads" ] ~docv:"K" ~doc)
+  in
+  let read_budget_arg =
+    let doc = "Maximum inquiry iterations per read." in
+    Arg.(value & opt int 8 & info [ "read-budget" ] ~docv:"K" ~doc)
+  in
+  let corrupt_arg =
+    let doc =
+      "Add one transient-corruption choice to the menu (repeatable): \
+       $(b,server:<i>:<sn>:<v>), $(b,reader:<pwsn>:<v>), $(b,writer:<sn>) \
+       or $(b,round:<client>:<round>).  The explorer fires each menu item \
+       at most once per execution, at every possible point."
+    in
+    Arg.(value & opt_all corrupt_conv [] & info [ "corrupt" ] ~docv:"SPEC" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Safety oracle: $(b,default) (per family) or $(b,atomic) (force the \
+       SW-atomicity oracle — against the regular family this exhibits the \
+       Fig. 1 new/old inversion)."
+    in
+    let oracle_conv =
+      Arg.conv
+        ( (fun s ->
+            Result.map_error (fun e -> `Msg e) (Mc.Config.oracle_of_string s)),
+          fun fmt o ->
+            Format.pp_print_string fmt (Mc.Config.oracle_to_string o) )
+    in
+    Arg.(
+      value
+      & opt oracle_conv Mc.Config.Family_default
+      & info [ "oracle" ] ~docv:"ORACLE" ~doc)
+  in
+  let depth_arg =
+    let doc = "Depth budget (moves per execution)." in
+    Arg.(
+      value
+      & opt int Mc.Checker.default_budgets.Mc.Checker.max_depth
+      & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  let max_states_arg =
+    let doc = "State budget (nodes expanded before truncating)." in
+    Arg.(
+      value
+      & opt int Mc.Checker.default_budgets.Mc.Checker.max_states
+      & info [ "max-states" ] ~docv:"S" ~doc)
+  in
+  let no_reduction_arg =
+    let doc =
+      "Disable the sleep-set partial-order reduction and symmetric-move \
+       pruning (state merging stays on)."
+    in
+    Arg.(value & flag & info [ "no-reduction" ] ~doc)
+  in
+  let no_visited_arg =
+    let doc =
+      "Disable state merging entirely (every interleaving explored \
+       verbatim; only feasible on tiny configurations)."
+    in
+    Arg.(value & flag & info [ "no-visited" ] ~doc)
+  in
+  let cross_check_arg =
+    let doc =
+      "After the reduced search, re-search with $(b,--no-reduction) and \
+       fail unless both agree on the verdict (soundness check for the \
+       partial-order reduction)."
+    in
+    Arg.(value & flag & info [ "cross-check" ] ~doc)
+  in
+  let expect_arg =
+    let expect_conv =
+      let parse = function
+        | "clean" -> Ok `Clean
+        | "violation" -> Ok `Violation
+        | s -> Error (`Msg (Printf.sprintf "unknown expectation %S" s))
+      in
+      Arg.conv
+        ( parse,
+          fun fmt e ->
+            Format.pp_print_string fmt
+              (match e with `Clean -> "clean" | `Violation -> "violation") )
+    in
+    let doc =
+      "Fail (exit non-zero) unless the search ends as stated: $(b,clean) \
+       (exhaustively verified, no violation) or $(b,violation) (a \
+       counterexample was found, shrunk and replayed)."
+    in
+    Arg.(
+      value & opt (some expect_conv) None & info [ "expect" ] ~docv:"WHAT" ~doc)
+  in
+  let order_seed_arg =
+    let doc =
+      "Shuffle the exploration order at every node, deterministically from \
+       this seed (swarm-style hunting: the reduced state space and any \
+       exhaustive verdict are unchanged, but a state budget reaches \
+       different corners first)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "order-seed" ] ~docv:"SEED" ~doc)
+  in
+  let target_arg =
+    let doc =
+      "Hunt one violation kind (e.g. $(b,inversion), $(b,stuck), \
+       $(b,liveness), $(b,regularity)): terminals violating some other \
+       way are counted and skipped.  A clean verdict under a target only \
+       certifies the absence of that kind."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "target" ] ~docv:"KIND" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory for counterexample artifacts." in
+    Arg.(value & opt string "results/mc" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-execute a counterexample artifact instead of searching; fails \
+       unless the replay reproduces the recorded verdict and terminal \
+       state bit-for-bit."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let guide_arg =
+    let doc =
+      "Check a hand-written witness schedule instead of searching: force \
+       the file's moves (config + trace, schema stabreg/mc-guide/v1; a \
+       cex artifact works too), drain deterministically, judge the \
+       terminal state, and shrink any violation into a replayable \
+       artifact.  For interleavings a budgeted search cannot reach \
+       unaided."
+    in
+    Arg.(value & opt (some file) None & info [ "guide" ] ~docv:"FILE" ~doc)
+  in
+  let mc family servers t byz strategy writes reads read_budget corrupt
+      oracle depth max_states no_reduction no_visited order_seed target
+      cross_check expect out replay guide seed json trace =
+    Exp_drivers.Common.json_dir := json;
+    Exp_drivers.Common.trace_out := trace;
+    let status = ref (`Ok ()) in
+    (match (replay, guide) with
+    | Some _, Some _ ->
+      status := `Error (true, "--replay and --guide are mutually exclusive")
+    | Some path, None ->
+      Exp_drivers.Common.with_report ~exp:"MC-replay" ~seed (fun () ->
+          match Exp_drivers.Exp_mc.replay path with
+          | Ok () -> ()
+          | Error e -> status := `Error (false, e))
+    | None, Some path ->
+      Exp_drivers.Common.with_report ~exp:"MC-guide" ~seed (fun () ->
+          match Exp_drivers.Exp_mc.guide ~expect ~out path with
+          | Ok () -> ()
+          | Error e -> status := `Error (false, e))
+    | None, None ->
+      let cfg =
+        {
+          Mc.Config.family;
+          n = servers;
+          f = t;
+          byz = List.init byz (fun i -> (i, strategy));
+          writes;
+          reads;
+          read_budget;
+          menu = corrupt;
+          oracle;
+        }
+      in
+      let exp = "MC-" ^ Mc.Config.family_to_string family in
+      (match Mc.Config.validate cfg with
+      | Error e -> status := `Error (false, e)
+      | Ok () ->
+        Exp_drivers.Common.with_report ~exp ~seed (fun () ->
+            let budgets = { Mc.Checker.max_states; max_depth = depth } in
+            let reduction =
+              if no_reduction then Mc.Checker.No_reduction
+              else Mc.Checker.Sleep_sets
+            in
+            match
+              Exp_drivers.Exp_mc.run ~cfg ~budgets ~reduction
+                ~use_visited:(not no_visited) ~seed:order_seed ~target
+                ~cross_check ~expect ~out
+            with
+            | Ok () -> ()
+            | Error e -> status := `Error (false, e))));
+    Exp_drivers.Common.close_trace ();
+    !status
+  in
+  let doc =
+    "Exhaustively model-check one register family: enumerate every \
+     interleaving of pending message deliveries and transient-corruption \
+     choices (up to the budgets), check every terminal execution against \
+     the family's safety and stabilization oracles, and shrink any \
+     violation to a minimal replayable artifact."
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc)
+    Term.(
+      ret
+        (const mc $ family_arg $ servers_arg $ t_arg $ byz_arg $ strategy_arg
+       $ writes_arg $ reads_arg $ read_budget_arg $ corrupt_arg $ oracle_arg
+       $ depth_arg $ max_states_arg $ no_reduction_arg $ no_visited_arg
+       $ order_seed_arg $ target_arg $ cross_check_arg $ expect_arg
+       $ out_arg $ replay_arg $ guide_arg $ seed_arg $ json_arg
+       $ trace_out_arg))
+
 let list_cmd =
   let list () =
     List.iter (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc) all
@@ -324,6 +647,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "stabreg-experiments" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; trace_cmd; validate_cmd; chaos_cmd ]
+    [ run_cmd; list_cmd; trace_cmd; validate_cmd; chaos_cmd; mc_cmd ]
 
 let () = exit (Cmd.eval main)

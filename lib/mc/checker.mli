@@ -1,0 +1,169 @@
+(** Stateful bounded DFS over {!Sys} executions, with safety +
+    stabilization oracles, sleep-set partial-order reduction, shrinking,
+    and replayable counterexample artifacts.
+
+    The explorer enumerates every interleaving of pending deliveries and
+    corruption-menu strikes up to the configured budgets, re-executing
+    prefixes from scratch where a snapshot would be needed (OCaml fibers
+    cannot be cloned).  States are merged by {!Sys.fingerprint}; a
+    revisit is pruned only when some previously stored sleep set is a
+    subset of the current one (Godefroid's subsumption condition), which
+    keeps the combination of sleep sets and a visited set sound. *)
+
+type verdict =
+  | Clean
+  | Violation of { kind : string; count : int; detail : string }
+      (** [kind] is the oracle's issue class (e.g. ["new-old-inversion"],
+          ["stuck"]); [detail] is the first offending witness. *)
+
+val verdict_kind : verdict -> string
+
+val same_verdict : verdict -> verdict -> bool
+(** Same kind (used by the shrinker: any violation of the same class
+    counts as a reproduction). *)
+
+val verdict_equal : verdict -> verdict -> bool
+(** Structural equality (used by strict artifact replay). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val terminal_verdict : Sys.t -> verdict
+(** Judge a terminal (no enabled moves) execution: deadlocked fibers
+    first, then the stabilization-segmented register condition — the
+    history is cut at every corruption instant and each segment checked
+    from its first completed write, so only quiescent suffixes after the
+    last disturbance must be legal. *)
+
+type reduction = No_reduction | Sleep_sets
+
+val reduction_to_string : reduction -> string
+
+type budgets = { max_states : int; max_depth : int }
+
+val default_budgets : budgets
+(** 2,000,000 states, depth 10,000. *)
+
+type stats = {
+  mutable states : int;  (** nodes expanded *)
+  mutable transitions : int;
+  mutable terminals : int;
+  mutable revisits : int;  (** pruned by the visited set *)
+  mutable sleep_skips : int;  (** moves skipped by sleep sets *)
+  mutable sym_skips : int;  (** moves skipped as symmetric to a sibling *)
+  mutable replays : int;  (** prefix re-executions (no snapshots) *)
+  mutable off_target : int;  (** violations ignored by a [target] filter *)
+  mutable peak_visited : int;
+  mutable max_depth_seen : int;
+  mutable truncated : bool;  (** some budget cut the search *)
+}
+
+type outcome = {
+  verdict : verdict;
+  exhaustive : bool;
+      (** [true] iff no state/depth budget truncated the search: a [Clean]
+          exhaustive outcome is a proof over the bounded configuration *)
+  stats : stats;
+  trace : Sys.move list option;  (** violating trace, execution order *)
+}
+
+val search :
+  ?budgets:budgets ->
+  ?reduction:reduction ->
+  ?use_visited:bool ->
+  ?seed:int ->
+  ?target:string ->
+  Config.t ->
+  outcome
+(** Explore until a violation, exhaustion, or a budget.  Raises
+    [Invalid_argument] on an invalid config.  [use_visited:false]
+    additionally disables state merging (for cross-checking the
+    fingerprint on tiny configs).
+
+    [seed] shuffles the sibling order at every node (deterministically
+    from the seed).  Sleep sets, subsumption and symmetry pruning are
+    order-agnostic, so the reduced state space — and hence any exhaustive
+    verdict — is unchanged; only which corner a state budget reaches
+    first differs.  Use different seeds to hunt bugs that hide from the
+    default order (swarm-style).
+
+    [target] restricts the hunt to one violation kind (e.g.
+    ["inversion"]): terminals violating some other way are counted in
+    [stats.off_target] and skipped.  An exhaustive [Clean] outcome under
+    a target only certifies the absence of that kind. *)
+
+val shrink :
+  ?log:(string -> unit) ->
+  Config.t ->
+  Sys.move list ->
+  verdict ->
+  Sys.move list * verdict * int
+(** [shrink cfg trace verdict] minimizes a violating trace: shortest
+    forced prefix whose deterministic canonical completion still yields a
+    violation of the same kind, then drops unneeded corruption moves.
+    Returns the complete concrete (strict-replayable) move list of the
+    minimized execution, its verdict, and the number of re-executions. *)
+
+(** {2 Counterexample artifacts} *)
+
+val cex_schema : string
+(** ["stabreg/mc-cex/v1"] *)
+
+type cex = {
+  config : Config.t;
+  trace : Sys.move list;  (** complete, strict-replayable *)
+  verdict : verdict;
+  states : int;  (** states expanded when the violation was found *)
+  digest : string;  (** terminal-state fingerprint *)
+}
+
+val cex_to_json : cex -> Obs.Json.t
+
+val cex_of_json : Obs.Json.t -> (cex, string) result
+
+val replay : cex -> (verdict, string) result
+(** Strict bit-for-bit replay: every recorded move must fire, the
+    terminal verdict must be structurally equal to the recorded one, and
+    the terminal fingerprint must match the recorded digest. *)
+
+(** {2 Guided witness schedules} *)
+
+val guide_schema : string
+(** ["stabreg/mc-guide/v1"] *)
+
+val guide_of_json : Obs.Json.t -> (Config.t * Sys.move list, string) result
+(** Parse a guide file: a config plus a schedule of moves to force — a
+    counterexample artifact without the outcome fields.  A full cex
+    artifact is accepted too (its recorded outcome is ignored). *)
+
+(** {2 One-call drivers} *)
+
+type run = { outcome : outcome; cex : cex option; shrink_runs : int }
+
+val check :
+  ?budgets:budgets ->
+  ?reduction:reduction ->
+  ?use_visited:bool ->
+  ?seed:int ->
+  ?target:string ->
+  ?shrink_violations:bool ->
+  ?log:(string -> unit) ->
+  Config.t ->
+  run
+(** {!search}; on a violation, {!shrink} it (unless disabled) and package
+    the result as a replayable {!cex}.  The returned outcome's verdict is
+    the (possibly shrunk) final verdict. *)
+
+val guided :
+  ?shrink_violations:bool ->
+  ?log:(string -> unit) ->
+  Config.t ->
+  Sys.move list ->
+  run
+(** Guided witness checking (the moral equivalent of simulating a SPIN
+    trail): execute the schedule as a forced prefix — moves that cannot
+    fire are skipped — then drain deterministically to a terminal state
+    and judge it.  A violation is shrunk and packaged exactly like
+    {!check}'s.  Useful for interleavings a budgeted search cannot reach
+    unaided: the author scripts only the critical deliveries.  Never
+    claims exhaustiveness.  Raises [Invalid_argument] on an invalid
+    config. *)

@@ -1,0 +1,240 @@
+type family = Regular | Atomic | Mwmr
+
+let family_to_string = function
+  | Regular -> "regular"
+  | Atomic -> "atomic"
+  | Mwmr -> "mwmr"
+
+let family_of_string = function
+  | "regular" -> Ok Regular
+  | "atomic" -> Ok Atomic
+  | "mwmr" -> Ok Mwmr
+  | s -> Error (Printf.sprintf "unknown register family %S" s)
+
+type byz_kind = Silent | Collude of { sn : int; v : int }
+
+type corruption =
+  | Corrupt_server of { server : int; sn : int; v : int }
+  | Corrupt_reader of { pwsn : int; v : int }
+  | Corrupt_writer_sn of int
+  | Corrupt_round of { client : int; round : int }
+
+type oracle = Family_default | Atomic_oracle
+
+let oracle_to_string = function
+  | Family_default -> "default"
+  | Atomic_oracle -> "atomic"
+
+let oracle_of_string = function
+  | "default" -> Ok Family_default
+  | "atomic" -> Ok Atomic_oracle
+  | s -> Error (Printf.sprintf "unknown oracle %S" s)
+
+type t = {
+  family : family;
+  n : int;
+  f : int;
+  byz : (int * byz_kind) list;
+  writes : int;
+  reads : int;
+  read_budget : int;
+  menu : corruption list;
+  oracle : oracle;
+}
+
+let default ~family =
+  {
+    family;
+    n = 9;
+    f = 1;
+    byz = [];
+    writes = 1;
+    reads = 1;
+    read_budget = 8;
+    menu = [];
+    oracle = Family_default;
+  }
+
+let validate c =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if c.n < 1 then err "n must be positive"
+  else if c.f < 0 then err "f must be non-negative"
+  else if c.writes < 0 || c.reads < 0 then err "writes/reads must be non-negative"
+  else if c.read_budget < 1 then err "read_budget must be positive"
+  else if
+    List.exists (fun (slot, _) -> slot < 0 || slot >= c.n) c.byz
+  then err "byzantine slot out of range"
+  else if
+    List.length (List.sort_uniq compare (List.map fst c.byz))
+    <> List.length c.byz
+  then err "duplicate byzantine slot"
+  else if
+    c.family <> Atomic
+    && List.exists
+         (function
+           | Corrupt_reader _ | Corrupt_writer_sn _ -> true | _ -> false)
+         c.menu
+  then err "reader/writer corruption items require the atomic family"
+  else if
+    List.exists
+      (function
+        | Corrupt_server { server; _ } -> server < 0 || server >= c.n
+        | _ -> false)
+      c.menu
+  then err "corruption target server out of range"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+
+let byz_to_json byz =
+  Obs.Json.List
+    (List.map
+       (fun (slot, k) ->
+         match k with
+         | Silent ->
+           Obs.Json.Obj
+             [ ("slot", Obs.Json.Int slot); ("kind", Obs.Json.Str "silent") ]
+         | Collude { sn; v } ->
+           Obs.Json.Obj
+             [
+               ("slot", Obs.Json.Int slot);
+               ("kind", Obs.Json.Str "collude");
+               ("sn", Obs.Json.Int sn);
+               ("v", Obs.Json.Int v);
+             ])
+       byz)
+
+let corruption_to_json = function
+  | Corrupt_server { server; sn; v } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "server");
+        ("server", Obs.Json.Int server);
+        ("sn", Obs.Json.Int sn);
+        ("v", Obs.Json.Int v);
+      ]
+  | Corrupt_reader { pwsn; v } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "reader");
+        ("pwsn", Obs.Json.Int pwsn);
+        ("v", Obs.Json.Int v);
+      ]
+  | Corrupt_writer_sn sn ->
+    Obs.Json.Obj [ ("kind", Obs.Json.Str "writer"); ("sn", Obs.Json.Int sn) ]
+  | Corrupt_round { client; round } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "round");
+        ("client", Obs.Json.Int client);
+        ("round", Obs.Json.Int round);
+      ]
+
+let to_json c =
+  Obs.Json.Obj
+    [
+      ("family", Obs.Json.Str (family_to_string c.family));
+      ("n", Obs.Json.Int c.n);
+      ("f", Obs.Json.Int c.f);
+      ("byz", byz_to_json c.byz);
+      ("writes", Obs.Json.Int c.writes);
+      ("reads", Obs.Json.Int c.reads);
+      ("read_budget", Obs.Json.Int c.read_budget);
+      ("menu", Obs.Json.List (List.map corruption_to_json c.menu));
+      ("oracle", Obs.Json.Str (oracle_to_string c.oracle));
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field ctx key j =
+  match Obs.Json.member key j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" ctx key)
+
+let as_int ctx j =
+  match Obs.Json.to_int_opt j with
+  | Some i -> Ok i
+  | None -> Error (ctx ^ ": expected an integer")
+
+let as_string ctx j =
+  match Obs.Json.to_string_opt j with
+  | Some s -> Ok s
+  | None -> Error (ctx ^ ": expected a string")
+
+let int_field ctx key j =
+  let* v = field ctx key j in
+  as_int (ctx ^ "." ^ key) v
+
+let str_field ctx key j =
+  let* v = field ctx key j in
+  as_string (ctx ^ "." ^ key) v
+
+let list_field ctx key j =
+  let* v = field ctx key j in
+  match Obs.Json.to_list_opt v with
+  | Some items -> Ok items
+  | None -> Error (Printf.sprintf "%s.%s: expected a list" ctx key)
+
+let fold_results f items =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* v = f item in
+      Ok (v :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let byz_of_json ctx j =
+  fold_results
+    (fun item ->
+      let* slot = int_field ctx "slot" item in
+      let* kind = str_field ctx "kind" item in
+      match kind with
+      | "silent" -> Ok (slot, Silent)
+      | "collude" ->
+        let* sn = int_field ctx "sn" item in
+        let* v = int_field ctx "v" item in
+        Ok (slot, Collude { sn; v })
+      | s -> Error (Printf.sprintf "%s: unknown byzantine kind %S" ctx s))
+    j
+
+let corruption_of_json ctx item =
+  let* kind = str_field ctx "kind" item in
+  match kind with
+  | "server" ->
+    let* server = int_field ctx "server" item in
+    let* sn = int_field ctx "sn" item in
+    let* v = int_field ctx "v" item in
+    Ok (Corrupt_server { server; sn; v })
+  | "reader" ->
+    let* pwsn = int_field ctx "pwsn" item in
+    let* v = int_field ctx "v" item in
+    Ok (Corrupt_reader { pwsn; v })
+  | "writer" ->
+    let* sn = int_field ctx "sn" item in
+    Ok (Corrupt_writer_sn sn)
+  | "round" ->
+    let* client = int_field ctx "client" item in
+    let* round = int_field ctx "round" item in
+    Ok (Corrupt_round { client; round })
+  | s -> Error (Printf.sprintf "%s: unknown corruption kind %S" ctx s)
+
+let of_json j =
+  let ctx = "config" in
+  let* family = str_field ctx "family" j in
+  let* family = family_of_string family in
+  let* n = int_field ctx "n" j in
+  let* f = int_field ctx "f" j in
+  let* byz = list_field ctx "byz" j in
+  let* byz = byz_of_json (ctx ^ ".byz") byz in
+  let* writes = int_field ctx "writes" j in
+  let* reads = int_field ctx "reads" j in
+  let* read_budget = int_field ctx "read_budget" j in
+  let* menu = list_field ctx "menu" j in
+  let* menu = fold_results (corruption_of_json (ctx ^ ".menu")) menu in
+  let* oracle = str_field ctx "oracle" j in
+  let* oracle = oracle_of_string oracle in
+  let c = { family; n; f; byz; writes; reads; read_budget; menu; oracle } in
+  let* () = validate c in
+  Ok c

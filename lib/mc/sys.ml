@@ -1,0 +1,718 @@
+open Registers
+
+type move =
+  | Deliver of string
+  | Tick of int
+  | Corrupt of int
+
+let move_to_string = function
+  | Deliver label -> "deliver " ^ label
+  | Tick i -> Printf.sprintf "tick %d" i
+  | Corrupt i -> Printf.sprintf "corrupt %d" i
+
+let move_equal (a : move) b = a = b
+
+let compare_move (a : move) b = compare a b
+
+(* "link:c100->s3" -> ("c100", "s3"); anything unparsable gets no
+   endpoints, which makes it dependent with everything (safe). *)
+let endpoints label =
+  match String.index_opt label ':' with
+  | None -> None
+  | Some i -> (
+    let name = String.sub label (i + 1) (String.length label - i - 1) in
+    match String.index_opt name '-' with
+    | Some j
+      when j + 1 < String.length name
+           && Char.equal name.[j + 1] '>' ->
+      let src = String.sub name 0 j in
+      let dst = String.sub name (j + 2) (String.length name - j - 2) in
+      Some (src, dst)
+    | Some _ | None -> None)
+
+(* Two moves are independent when they commute from every state: firing
+   them in either order yields the same global state.  Deliveries on links
+   with disjoint endpoint sets touch disjoint process/link state, so they
+   commute; anything sharing an endpoint (same server's automaton, same
+   client's mailbox/fiber) — and every corruption — is treated as
+   dependent.  This conservative relation is what the sleep-set reduction
+   is sound for; [--cross-check] re-runs without it. *)
+let independent a b =
+  match (a, b) with
+  | Deliver la, Deliver lb -> (
+    match (endpoints la, endpoints lb) with
+    | Some (sa, da), Some (sb, db) ->
+      (not (String.equal sa sb))
+      && (not (String.equal sa db))
+      && (not (String.equal da sb))
+      && not (String.equal da db)
+    | _ -> false)
+  | _ -> false
+
+type clients =
+  | Regular_c of Swsr_regular.writer * Swsr_regular.reader
+  | Atomic_c of Swsr_atomic.writer * Swsr_atomic.reader
+  | Mwmr_c of Mwmr.process array
+
+type t = {
+  cfg : Config.t;
+  engine : Sim.Engine.t;
+  net : Net.t;
+  adv : Byzantine.Adversary.t;
+  history : Oracles.History.t;
+  clients : clients;
+  fibers : (string * Sim.Fiber.handle) list;
+  mutable applied : int list; (* menu indices fired so far, newest first *)
+  mutable corrupt_times : Sim.Vtime.t list; (* newest first *)
+}
+
+let behavior_of = function
+  | Config.Silent -> Byzantine.Behavior.silent
+  | Config.Collude { sn; v } ->
+    Byzantine.Behavior.collude ~cell:{ Messages.sn; v = Value.int v }
+
+let mwmr_m = 2
+
+let create (cfg : Config.t) =
+  let rng = Sim.Rng.create 42 in
+  let engine = Sim.Engine.create ~rng () in
+  let params =
+    Params.create_unchecked ~n:cfg.n ~f:cfg.f ~mode:Params.Async
+  in
+  (* Fixed unit delay: the explorer owns all ordering nondeterminism, so
+     sampled delays would only smear states apart without adding behaviors. *)
+  let net =
+    Net.create ~engine ~params ~link_delay:(fun _ -> Sim.Link.fixed 1) ()
+  in
+  let adv = Byzantine.Adversary.deploy ~net ~rng:(Sim.Rng.split rng) in
+  List.iter
+    (fun (slot, k) -> Byzantine.Adversary.compromise adv slot (behavior_of k))
+    cfg.byz;
+  let history = Oracles.History.create () in
+  let record ~proc ~kind f =
+    let inv = Sim.Engine.now engine in
+    let v, ok, ts = f () in
+    let resp = Sim.Engine.now engine in
+    Oracles.History.record history ~proc ~kind ~inv ~resp ?ts ~ok v
+  in
+  let clients, jobs =
+    match cfg.family with
+    | Config.Regular ->
+      let w = Swsr_regular.writer ~net ~client_id:100 ~inst:0 in
+      let r = Swsr_regular.reader ~net ~client_id:101 ~inst:0 in
+      ( Regular_c (w, r),
+        [
+          ( "writer",
+            fun () ->
+              for k = 1 to cfg.writes do
+                record ~proc:"writer" ~kind:Oracles.History.Write (fun () ->
+                    let v = Value.int k in
+                    Swsr_regular.write w v;
+                    (v, true, None))
+              done );
+          ( "reader",
+            fun () ->
+              for _ = 1 to cfg.reads do
+                record ~proc:"reader" ~kind:Oracles.History.Read (fun () ->
+                    match
+                      Swsr_regular.read ~max_iterations:cfg.read_budget r
+                    with
+                    | Some v -> (v, true, None)
+                    | None -> (Value.bot, false, None))
+              done );
+        ] )
+    | Config.Atomic ->
+      let w = Swsr_atomic.writer ~net ~client_id:100 ~inst:0 () in
+      let r = Swsr_atomic.reader ~net ~client_id:101 ~inst:0 () in
+      ( Atomic_c (w, r),
+        [
+          ( "writer",
+            fun () ->
+              for k = 1 to cfg.writes do
+                record ~proc:"writer" ~kind:Oracles.History.Write (fun () ->
+                    let v = Value.int k in
+                    Swsr_atomic.write w v;
+                    (v, true, None))
+              done );
+          ( "reader",
+            fun () ->
+              for _ = 1 to cfg.reads do
+                record ~proc:"reader" ~kind:Oracles.History.Read (fun () ->
+                    match
+                      Swsr_atomic.read ~max_iterations:cfg.read_budget r
+                    with
+                    | Some v -> (v, true, None)
+                    | None -> (Value.bot, false, None))
+              done );
+        ] )
+    | Config.Mwmr ->
+      let mcfg = Mwmr.default_config ~m:mwmr_m in
+      let procs =
+        Array.init mwmr_m (fun i ->
+            Mwmr.process ~net ~cfg:mcfg ~id:i ~client_id:(300 + i))
+      in
+      let job i p =
+        let proc = Printf.sprintf "p%d" i in
+        fun () ->
+          for k = 1 to cfg.writes do
+            let v = Value.int ((1000 * (i + 1)) + k) in
+            let inv = Sim.Engine.now engine in
+            Mwmr.write p v;
+            let resp = Sim.Engine.now engine in
+            let ts =
+              match Mwmr.last_write_timestamp p with
+              | Some (e, s) -> Some (e, s, i)
+              | None -> None
+            in
+            Oracles.History.record history ~proc
+              ~kind:Oracles.History.Write ~inv ~resp ?ts v
+          done;
+          for _ = 1 to cfg.reads do
+            let inv = Sim.Engine.now engine in
+            let result =
+              Mwmr.read_timestamped ~max_iterations:cfg.read_budget p
+            in
+            let resp = Sim.Engine.now engine in
+            (* Epoch-crossing reads perform the line-11 internal write; the
+               checker must see it as a write. *)
+            List.iter
+              (fun (v, e, s) ->
+                Oracles.History.record history ~proc
+                  ~kind:Oracles.History.Write ~inv ~resp ~ts:(e, s, i) v)
+              (Mwmr.take_restamps p);
+            match result with
+            | Some (v, e, s, j) ->
+              Oracles.History.record history ~proc
+                ~kind:Oracles.History.Read ~inv ~resp ~ts:(e, s, j) v
+            | None ->
+              Oracles.History.record history ~proc
+                ~kind:Oracles.History.Read ~inv ~resp ~ok:false Value.bot
+          done
+      in
+      ( Mwmr_c procs,
+        Array.to_list (Array.mapi (fun i p -> (Printf.sprintf "p%d" i, job i p)) procs)
+      )
+  in
+  let fibers =
+    List.map (fun (name, f) -> (name, Sim.Fiber.spawn ~name f)) jobs
+  in
+  {
+    cfg;
+    engine;
+    net;
+    adv;
+    history;
+    clients;
+    fibers;
+    applied = [];
+    corrupt_times = [];
+  }
+
+let config t = t.cfg
+
+let engine t = t.engine
+
+let history t = t.history
+
+let corrupt_times t =
+  List.rev_map Sim.Vtime.to_int t.corrupt_times |> List.sort Int.compare
+
+let client_active t =
+  List.exists
+    (fun (_, h) ->
+      match Sim.Fiber.status h with
+      | Sim.Fiber.Running -> true
+      | Sim.Fiber.Done | Sim.Fiber.Failed _ -> false)
+    t.fibers
+
+let stuck t =
+  List.filter_map
+    (fun (name, h) ->
+      match Sim.Fiber.status h with
+      | Sim.Fiber.Done -> None
+      | Sim.Fiber.Running -> Some name
+      | Sim.Fiber.Failed e ->
+        Some (name ^ " (raised: " ^ Printexc.to_string e ^ ")"))
+    t.fibers
+
+(* ------------------------------------------------------------------ *)
+(* Enabled moves                                                      *)
+
+let enabled t =
+  let ready = Sim.Engine.ready t.engine in
+  let seen = Hashtbl.create 16 in
+  let delivers =
+    List.filter_map
+      (fun (r : Sim.Engine.ready_event) ->
+        if String.equal r.r_label "" then None
+        else if Hashtbl.mem seen r.r_label then None
+        else begin
+          Hashtbl.add seen r.r_label ();
+          Some (Deliver r.r_label)
+        end)
+      ready
+    |> List.sort compare_move
+  in
+  let ticks =
+    List.filter
+      (fun (r : Sim.Engine.ready_event) -> String.equal r.r_label "")
+      ready
+    |> List.mapi (fun i _ -> Tick i)
+  in
+  let corrupts =
+    if t.cfg.menu = [] || not (client_active t) then []
+    else
+      List.mapi (fun i _ -> i) t.cfg.menu
+      |> List.filter (fun i -> not (List.mem i t.applied))
+      |> List.map (fun i -> Corrupt i)
+  in
+  delivers @ ticks @ corrupts
+
+(* ------------------------------------------------------------------ *)
+(* Applying a move                                                    *)
+
+let apply_corruption t = function
+  | Config.Corrupt_server { server; sn; v } ->
+    let srv = Byzantine.Adversary.server t.adv server in
+    let insts =
+      match Server.instances srv with
+      | [] -> [ (0, Server.instance srv 0) ]
+      | l -> l
+    in
+    let cell = { Messages.sn; v = Value.int v } in
+    List.iter
+      (fun ((_, i) : int * Server.instance) ->
+        i.last_val <- cell;
+        i.helping <- Some cell)
+      insts
+  | Config.Corrupt_reader { pwsn; v } -> (
+    match t.clients with
+    | Atomic_c (_, r) ->
+      Swsr_atomic.corrupt_reader_to r ~pwsn ~pv:(Value.int v)
+    | Regular_c _ | Mwmr_c _ -> ())
+  | Config.Corrupt_writer_sn sn -> (
+    match t.clients with
+    | Atomic_c (w, _) -> Swsr_atomic.set_wsn w sn
+    | Regular_c _ | Mwmr_c _ -> ())
+  | Config.Corrupt_round { client; round } -> (
+    match List.assoc_opt client (Net.client_ports t.net) with
+    | Some port -> port.Net.round <- abs round mod (1 lsl 30)
+    | None -> ())
+
+(* Every explored step advances the clock by one tick before firing, so
+   execution order and virtual-time order coincide: the history the
+   oracles see has strictly increasing instants along the explored
+   interleaving, exactly as if a wall clock had witnessed it. *)
+let bump t =
+  Sim.Engine.advance_to t.engine
+    (Sim.Vtime.add (Sim.Engine.now t.engine) 1)
+
+let apply ?(strict = true) t mv =
+  let fail msg =
+    if strict then
+      invalid_arg
+        (Printf.sprintf "Mc.Sys.apply: %s (%s)" msg (move_to_string mv))
+    else false
+  in
+  match mv with
+  | Deliver label -> (
+    let ready = Sim.Engine.ready t.engine in
+    (* [ready] is (time, seq)-sorted, so the first match is the per-link
+       FIFO head — the only delivery the paper's model admits next on
+       this channel. *)
+    match
+      List.find_opt
+        (fun (r : Sim.Engine.ready_event) -> String.equal r.r_label label)
+        ready
+    with
+    | None -> fail "no pending delivery on that link"
+    | Some r ->
+      bump t;
+      ignore (Sim.Engine.fire t.engine ~seq:r.r_seq);
+      true)
+  | Tick i -> (
+    let unlabeled =
+      List.filter
+        (fun (r : Sim.Engine.ready_event) -> String.equal r.r_label "")
+        (Sim.Engine.ready t.engine)
+    in
+    match List.nth_opt unlabeled i with
+    | None -> fail "no such unlabeled event"
+    | Some r ->
+      bump t;
+      ignore (Sim.Engine.fire t.engine ~seq:r.r_seq);
+      true)
+  | Corrupt i ->
+    if List.mem i t.applied then fail "menu item already fired"
+    else (
+      match List.nth_opt t.cfg.menu i with
+      | None -> fail "no such menu item"
+      | Some c ->
+        bump t;
+        t.applied <- i :: t.applied;
+        t.corrupt_times <- Sim.Engine.now t.engine :: t.corrupt_times;
+        apply_corruption t c;
+        true)
+
+(* ------------------------------------------------------------------ *)
+(* State fingerprint                                                  *)
+
+let add_cell b (c : Messages.cell) =
+  Buffer.add_string b (string_of_int c.sn);
+  Buffer.add_char b ':';
+  Buffer.add_string b (Value.to_string c.v)
+
+let add_help b = function
+  | None -> Buffer.add_char b '-'
+  | Some c -> add_cell b c
+
+let add_to_server b (env : Messages.server_envelope) =
+  Buffer.add_string b
+    (Printf.sprintf "%d/%d/%d/" env.round env.client env.inst);
+  match env.body with
+  | Messages.Write c ->
+    Buffer.add_char b 'W';
+    add_cell b c
+  | Messages.New_help c ->
+    Buffer.add_char b 'H';
+    add_cell b c
+  | Messages.Read nr -> Buffer.add_string b (if nr then "Rn" else "Ro")
+
+let add_to_client ?(ren = fun s -> s) b (env : Messages.client_envelope) =
+  Buffer.add_string b (Printf.sprintf "%d/%d/" env.round (ren env.server));
+  match env.body with
+  | Messages.Ack_write h ->
+    Buffer.add_char b 'a';
+    add_help b h
+  | Messages.Ack_read (c, h) ->
+    Buffer.add_char b 'A';
+    add_cell b c;
+    Buffer.add_char b ',';
+    add_help b h
+
+let add_epoch b (e : Epoch.t) =
+  Buffer.add_string b (string_of_int e.s);
+  Buffer.add_char b '{';
+  List.iter (fun x -> Buffer.add_string b (string_of_int x); Buffer.add_char b ' ') e.a;
+  Buffer.add_char b '}'
+
+let add_ts b = function
+  | None -> Buffer.add_char b '-'
+  | Some (e, s, j) ->
+    add_epoch b e;
+    Buffer.add_string b (Printf.sprintf "/%d/%d" s j)
+
+(* The oracles only compare instants for order, so the fingerprint keeps
+   the order type of the recorded instants rather than their absolute
+   values: order-isomorphic pasts merge, which is what lets permuted
+   interleavings converge on one canonical state. *)
+let add_history b t =
+  let ops = Oracles.History.ops t.history in
+  let times =
+    List.concat_map
+      (fun (o : Oracles.History.op) ->
+        [ Sim.Vtime.to_int o.inv; Sim.Vtime.to_int o.resp ])
+      ops
+    @ List.map Sim.Vtime.to_int t.corrupt_times
+  in
+  let distinct = List.sort_uniq Int.compare times in
+  let rank =
+    let tbl = Hashtbl.create 64 in
+    List.iteri (fun i v -> Hashtbl.add tbl v i) distinct;
+    fun v -> Hashtbl.find tbl v
+  in
+  List.iter
+    (fun (o : Oracles.History.op) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s|%c|%d|%d|%s|%b|" o.proc
+           (match o.kind with Oracles.History.Write -> 'W' | _ -> 'R')
+           (rank (Sim.Vtime.to_int o.inv))
+           (rank (Sim.Vtime.to_int o.resp))
+           (Value.to_string o.value) o.ok);
+      add_ts b o.ts;
+      Buffer.add_char b ';')
+    ops;
+  Buffer.add_string b "X:";
+  List.iter
+    (fun ct -> Buffer.add_string b (string_of_int (rank ct)); Buffer.add_char b ' ')
+    (List.sort Int.compare (List.map Sim.Vtime.to_int t.corrupt_times))
+
+let add_atomic_rw b w r =
+  Buffer.add_string b
+    (Printf.sprintf "wsn=%d;pwsn=%d;pv=%s" (Swsr_atomic.wsn w)
+       (Swsr_atomic.pwsn r)
+       (Value.to_string (Swsr_atomic.pv r)))
+
+(* Everything attached to one server slot, rendered WITHOUT its id: the
+   automaton instances (or the byzantine behavior marker — the assignment
+   is config-constant, but two byzantine slots with different behaviors
+   must not be interchangeable) and the in-flight payloads on its links,
+   per client in client order.  Two servers with equal blocks are
+   observationally interchangeable. *)
+let server_block t b srv =
+  let s = Server.id srv in
+  (match List.assoc_opt s t.cfg.byz with
+  | Some Config.Silent -> Buffer.add_string b "Bs"
+  | Some (Config.Collude { sn; v }) ->
+    Buffer.add_string b (Printf.sprintf "Bc%d:%d" sn v)
+  | None ->
+    List.iter
+      (fun ((inst, i) : int * Server.instance) ->
+        Buffer.add_string b (string_of_int inst);
+        Buffer.add_char b '=';
+        add_cell b i.last_val;
+        Buffer.add_char b '+';
+        add_help b i.helping;
+        Buffer.add_char b ',')
+      (Server.instances srv));
+  List.iter
+    (fun ((id, port) : int * Net.client_port) ->
+      Buffer.add_string b (Printf.sprintf "|c%d>" id);
+      List.iter
+        (fun env -> add_to_server b env; Buffer.add_char b ';')
+        (Sim.Link.in_flight port.Net.to_servers.(s));
+      Buffer.add_char b '<';
+      (* the server field of an ack on this server's own reply link is
+         self-referential; elide it *)
+      List.iter
+        (fun env ->
+          add_to_client ~ren:(fun _ -> 0) b env;
+          Buffer.add_char b ';')
+        (Sim.Link.in_flight port.Net.from_servers.(s)))
+    (Net.client_ports t.net)
+
+(* Symmetry reduction: the protocols never branch on a server's identity
+   (uniform broadcast, uniform links) and the oracles only read the
+   client-side history, so permuting server slots yields an isomorphic
+   state with the same verdicts.  Only slots named by a corruption-menu
+   item must keep their identity (a pending [Corrupt_server {server=2}]
+   distinguishes slot 2).  The fingerprint renders the state in canonical
+   coordinates — named slots first in id order, then the anonymous slots
+   sorted by their serialized block — and returns the renaming so the
+   checker can put sleep sets into the same coordinates (comparing sleep
+   sets across symmetry-merged states is only sound canonically). *)
+let fingerprint_ex t =
+  let servers = Byzantine.Adversary.servers t.adv in
+  let n = Array.length servers in
+  let named =
+    List.filter_map
+      (function
+        | Config.Corrupt_server { server; _ } -> Some server | _ -> None)
+      t.cfg.menu
+    |> List.sort_uniq Int.compare
+  in
+  let block = Buffer.create 256 in
+  let blocks =
+    Array.map
+      (fun srv ->
+        Buffer.clear block;
+        server_block t block srv;
+        Buffer.contents block)
+      servers
+  in
+  (* The only mailbox consumer is [Collect.acks], which files responses
+     into a per-server slots array — so the arrival ORDER of queued acks
+     is semantically inert and the mailbox can be treated as a multiset.
+     The one exception: an envelope whose round tag has gone stale is
+     normally dead forever, but a pending [Corrupt_round] item could
+     resurrect it, and whether a stale envelope was consumed-and-dropped
+     or still queued does depend on order.  So order is only erased when
+     the menu carries no round corruption. *)
+  let mailbox_ordered =
+    List.exists
+      (function Config.Corrupt_round _ -> true | _ -> false)
+      t.cfg.menu
+  in
+  let render_env ren env =
+    Buffer.clear block;
+    add_to_client ~ren block env;
+    Buffer.contents block
+  in
+  (* A server id also escapes into client mailboxes (ack envelopes name
+     their origin).  The references to a server — rendered without ids —
+     are permutation-invariant, so refining the sort key with them makes
+     the canonical form complete: two states that differ only by a
+     permutation of anonymous servers always render identically, and
+     servers left tied (equal block, equal references) are true
+     automorphisms, so the id tie-break is harmless. *)
+  let refkeys = Array.make n "" in
+  List.iteri
+    (fun ci ((_, port) : int * Net.client_port) ->
+      let refs = Array.make n [] in
+      List.iteri
+        (fun pos (env : Messages.client_envelope) ->
+          let s = env.server in
+          if s >= 0 && s < n then
+            refs.(s) <-
+              (if mailbox_ordered then Printf.sprintf "@%d" pos
+               else render_env (fun _ -> 0) env)
+              :: refs.(s))
+        (Sim.Mailbox.to_list port.Net.mailbox);
+      Array.iteri
+        (fun s occurrences ->
+          if occurrences <> [] then
+            refkeys.(s) <-
+              refkeys.(s)
+              ^ Printf.sprintf "%d[%s];" ci
+                  (String.concat ","
+                     (List.sort String.compare occurrences)))
+        refs)
+    (Net.client_ports t.net);
+  let anonymous =
+    List.filter
+      (fun s -> not (List.mem s named))
+      (List.init n Fun.id)
+    |> List.sort (fun a b ->
+           match String.compare blocks.(a) blocks.(b) with
+           | 0 -> (
+             match String.compare refkeys.(a) refkeys.(b) with
+             | 0 -> Int.compare a b
+             | c -> c)
+           | c -> c)
+  in
+  let order = Array.of_list (named @ anonymous) in
+  let canon = Array.make n 0 in
+  Array.iteri (fun pos s -> canon.(s) <- pos) order;
+  let ren s = if s >= 0 && s < n then canon.(s) else s in
+  (* Servers still tied after the (block, refkey) sort are genuinely
+     interchangeable — swapping them is a state automorphism.  Map each
+     to the least member of its tie group: the explorer only fires
+     deliveries at class representatives, since the other successors are
+     isomorphic (equal blocks include the link contents, so a
+     representative's move is enabled whenever a class member's is). *)
+  let rep_arr = Array.init n Fun.id in
+  (let prev = ref None in
+   List.iter
+     (fun s ->
+       (match !prev with
+       | Some p
+         when String.equal blocks.(p) blocks.(s)
+              && String.equal refkeys.(p) refkeys.(s) ->
+         rep_arr.(s) <- rep_arr.(p)
+       | _ -> ());
+       prev := Some s)
+     anonymous);
+  let rep s = if s >= 0 && s < n then rep_arr.(s) else s in
+  let b = Buffer.create 2048 in
+  (* servers in canonical order *)
+  Array.iteri
+    (fun pos s ->
+      Buffer.add_string b (Printf.sprintf "s%d:" pos);
+      Buffer.add_string b blocks.(s);
+      Buffer.add_char b '\n')
+    order;
+  (* client ports: round tag and queued acks (ack origins renamed, and
+     the queue rendered as a sorted multiset unless a round corruption
+     could make order matter); link traffic lives inside the server
+     blocks *)
+  List.iter
+    (fun ((id, port) : int * Net.client_port) ->
+      Buffer.add_string b (Printf.sprintf "c%d r%d q[" id port.Net.round);
+      let rendered =
+        List.map (render_env ren) (Sim.Mailbox.to_list port.Net.mailbox)
+      in
+      let rendered =
+        if mailbox_ordered then rendered
+        else List.sort String.compare rendered
+      in
+      List.iter
+        (fun s ->
+          Buffer.add_string b s;
+          Buffer.add_char b ';')
+        rendered;
+      Buffer.add_string b "]\n")
+    (Net.client_ports t.net);
+  (* client persistent state *)
+  (match t.clients with
+  | Regular_c _ -> Buffer.add_string b "reg"
+  | Atomic_c (w, r) -> add_atomic_rw b w r
+  | Mwmr_c procs ->
+    Array.iter
+      (fun p ->
+        Buffer.add_string b (Printf.sprintf "p%d:" (Mwmr.id p));
+        (match Mwmr.last_write_timestamp p with
+        | None -> Buffer.add_char b '-'
+        | Some (e, s) ->
+          add_epoch b e;
+          Buffer.add_string b (Printf.sprintf "/%d" s));
+        Buffer.add_string b
+          (Printf.sprintf ";eo=%d;" (Mwmr.epochs_opened p));
+        List.iter
+          (fun (v, e, s) ->
+            Buffer.add_string b (Value.to_string v);
+            Buffer.add_char b '@';
+            add_epoch b e;
+            Buffer.add_string b (Printf.sprintf "/%d," s))
+          (Mwmr.restamps p);
+        Array.iter
+          (fun w ->
+            Buffer.add_string b
+              (Printf.sprintf "w%d," (Swsr_atomic.wsn w)))
+          (Swmr.copies (Mwmr.own p));
+        Array.iter
+          (fun rd ->
+            let sr = Swmr.sr_reader rd in
+            Buffer.add_string b
+              (Printf.sprintf "r%d:%s," (Swsr_atomic.pwsn sr)
+                 (Value.to_string (Swsr_atomic.pv sr))))
+          (Mwmr.views p);
+        Buffer.add_char b '\n')
+      procs);
+  (* which corruption choices are still available *)
+  Buffer.add_string b "\nM:";
+  List.iter
+    (fun i -> Buffer.add_string b (string_of_int i); Buffer.add_char b ' ')
+    (List.sort Int.compare t.applied);
+  (* fiber progress *)
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string b name;
+      Buffer.add_char b
+        (match Sim.Fiber.status h with
+        | Sim.Fiber.Running -> 'r'
+        | Sim.Fiber.Done -> 'd'
+        | Sim.Fiber.Failed _ -> 'f'))
+    t.fibers;
+  Buffer.add_char b '\n';
+  add_history b t;
+  (Digest.to_hex (Digest.string (Buffer.contents b)), ren, rep)
+
+let fingerprint t =
+  let d, _, _ = fingerprint_ex t in
+  d
+
+(* Rewrite every "s<digits>" token of a link label through the canonical
+   renaming, so a sleep-set move recorded at one member of a symmetry
+   class is comparable with the same move at another member. *)
+let rename_servers_in_label ren label =
+  let n = String.length label in
+  let b = Buffer.create n in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_word c =
+    is_digit c || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+  in
+  let i = ref 0 in
+  while !i < n do
+    if
+      Char.equal label.[!i] 's'
+      && !i + 1 < n
+      && is_digit label.[!i + 1]
+      && (!i = 0 || not (is_word label.[!i - 1]))
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_digit label.[!j] do incr j done;
+      let id = int_of_string (String.sub label (!i + 1) (!j - !i - 1)) in
+      Buffer.add_char b 's';
+      Buffer.add_string b (string_of_int (ren id));
+      i := !j
+    end
+    else begin
+      Buffer.add_char b label.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let canonical_move ren = function
+  | Deliver label -> Deliver (rename_servers_in_label ren label)
+  | (Tick _ | Corrupt _) as m -> m

@@ -170,6 +170,12 @@ let last_write_timestamp p = p.last_ts
 
 let epochs_opened p = p.epochs_opened
 
+let restamps p = List.rev p.restamps_rev
+
+let own p = p.own
+
+let views p = p.views
+
 let take_restamps p =
   let log = List.rev p.restamps_rev in
   p.restamps_rev <- [];

@@ -66,6 +66,18 @@ val last_write_timestamp : process -> (Epoch.t * int) option
 val epochs_opened : process -> int
 (** How many times this process executed the next_epoch branch. *)
 
+val restamps : process -> (Value.t * Epoch.t * int) list
+(** The pending line-11 internal-write log, oldest first, without clearing
+    it — for state fingerprinting by the model checker. *)
+
+val own : process -> Swmr.writer
+(** The underlying SWMR writer endpoint this process owns (for state
+    inspection; mutating it directly voids the register's guarantees). *)
+
+val views : process -> Swmr.reader array
+(** The underlying SWMR reader endpoints, one per register (for state
+    inspection). *)
+
 val take_restamps : process -> (Value.t * Epoch.t * int) list
 (** Line-11 internal writes performed by this process's reads since the
     last call (value restamped, fresh epoch, seq = 0), oldest first, and

@@ -243,40 +243,48 @@ let ss_broadcast t port ~inst body =
      experiments), fall back to the last correct delivery so the broadcast
      still terminates. *)
   let quorum = t.params.Params.n - (2 * t.params.Params.f) in
+  let correct_total =
+    let c = ref 0 in
+    for s = 0 to t.params.Params.n - 1 do
+      if t.correct s then incr c
+    done;
+    !c
+  in
+  let target = min quorum correct_total in
+  (* Both transports count actual delivery callbacks rather than
+     precomputing arrival instants: the synchronized-delivery property must
+     hold under *any* admissible firing order (the model checker reorders
+     deliveries across links), not just the heap order of a fresh run. *)
   (match port.transport with
   | Direct ->
-    let arrivals =
-      Array.mapi
-        (fun s link -> (s, Sim.Link.send_timed link env))
-        port.to_servers
-    in
-    let correct_arrivals =
-      Array.to_list arrivals
-      |> List.filter_map (fun (s, at) ->
-             if t.correct s then Some at else None)
-      |> List.sort Sim.Vtime.compare
-    in
-    let resume_at =
-      match List.nth_opt correct_arrivals (quorum - 1) with
-      | Some at -> at
-      | None -> (
-        match List.rev correct_arrivals with
-        | last :: _ -> last
-        | [] -> Sim.Engine.now t.engine)
-    in
     Sim.Fiber.suspend (fun resume ->
-        Sim.Engine.schedule_at t.engine resume_at resume)
+        let confirmed = ref 0 in
+        let resumed = ref false in
+        let maybe_resume () =
+          if (not !resumed) && !confirmed >= target then begin
+            resumed := true;
+            resume ()
+          end
+        in
+        Array.iteri
+          (fun s link ->
+            let was_correct = t.correct s in
+            ignore
+              (Sim.Link.send_timed link
+                 ~on_delivered:(fun () ->
+                   if was_correct then begin
+                     incr confirmed;
+                     maybe_resume ()
+                   end)
+                 env))
+          port.to_servers;
+        if target = 0 then
+          Sim.Engine.schedule t.engine ~delay:0 (fun () ->
+              if not !resumed then begin
+                resumed := true;
+                resume ()
+              end))
   | Lossy { to_servers; _ } ->
-    (* No ground truth here: the transports' own delivery acknowledgments
-       realize the synchronized-delivery property. *)
-    let correct_total =
-      let c = ref 0 in
-      for s = 0 to t.params.Params.n - 1 do
-        if t.correct s then incr c
-      done;
-      !c
-    in
-    let target = min quorum correct_total in
     Sim.Fiber.suspend (fun resume ->
         let confirmed = ref 0 in
         let resumed = ref false in

@@ -1,4 +1,6 @@
-type event = { time : Vtime.t; seq : int; action : unit -> unit }
+type event = { time : Vtime.t; seq : int; label : string; action : unit -> unit }
+
+type ready_event = { r_time : Vtime.t; r_seq : int; r_label : string }
 
 type t = {
   mutable clock : Vtime.t;
@@ -26,14 +28,27 @@ let metrics t = Trace.metrics t.trace
 
 let hub t = Trace.hub t.trace
 
-let schedule_at t time action =
+let schedule_at ?(label = "") t time action =
   let time = Vtime.max time t.clock in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.queue { time; seq; action }
+  Heap.push t.queue { time; seq; label; action }
 
-let schedule t ~delay action =
-  schedule_at t (Vtime.add t.clock (max delay 0)) action
+let schedule ?label t ~delay action =
+  schedule_at ?label t (Vtime.add t.clock (max delay 0)) action
+
+(* The single place an event is consumed: run, step and fire all funnel
+   through here, so they cannot disagree on clock handling. *)
+let fire_event t ev =
+  t.clock <- Vtime.max t.clock ev.time;
+  ev.action ()
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    fire_event t ev;
+    true
 
 let run ?until ?(max_events = max_int) t =
   let fired = ref 0 in
@@ -47,15 +62,32 @@ let run ?until ?(max_events = max_int) t =
       in
       if past_deadline then continue := false
       else begin
-        ignore (Heap.pop t.queue);
-        t.clock <- ev.time;
         incr fired;
-        ev.action ()
+        ignore (step t)
       end
   done;
   match until with
   | Some u when Vtime.( < ) t.clock u && !fired < max_events -> t.clock <- u
   | _ -> ()
+
+let ready t =
+  let acc = ref [] in
+  Heap.iter_unordered t.queue (fun ev ->
+      acc := { r_time = ev.time; r_seq = ev.seq; r_label = ev.label } :: !acc);
+  List.sort
+    (fun a b ->
+      let c = Vtime.compare a.r_time b.r_time in
+      if c <> 0 then c else Int.compare a.r_seq b.r_seq)
+    !acc
+
+let fire t ~seq =
+  match Heap.take t.queue (fun ev -> ev.seq = seq) with
+  | None -> false
+  | Some ev ->
+    fire_event t ev;
+    true
+
+let advance_to t time = if Vtime.( < ) t.clock time then t.clock <- time
 
 let pending t = Heap.length t.queue
 

@@ -62,6 +62,28 @@ let pop t =
     Some min
   end
 
+let take t pred =
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < t.size do
+    if pred t.data.(!i) then found := !i;
+    incr i
+  done;
+  if !found < 0 then None
+  else begin
+    let idx = !found in
+    let x = t.data.(idx) in
+    t.size <- t.size - 1;
+    if idx < t.size then begin
+      t.data.(idx) <- t.data.(t.size);
+      (* The relocated element may violate the heap property in either
+         direction relative to its new neighbourhood; restore both ways. *)
+      sift_down t idx;
+      sift_up t idx
+    end;
+    Some x
+  end
+
 let clear t = t.size <- 0
 
 let iter_unordered t f =

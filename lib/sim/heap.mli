@@ -1,4 +1,10 @@
-(** Polymorphic binary min-heap, used as the simulator's event queue. *)
+(** Polymorphic binary min-heap, used as the simulator's event queue.
+
+    The heap itself is {e not} stable: elements that compare equal pop in
+    unspecified order.  Callers that need FIFO behaviour among equal keys
+    must disambiguate inside [cmp] — {!Engine} does this by tagging every
+    event with a monotonically increasing sequence number, which is what
+    makes same-instant events fire in exact scheduling order. *)
 
 type 'a t
 
@@ -16,6 +22,12 @@ val peek : 'a t -> 'a option
 
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element. *)
+
+val take : 'a t -> ('a -> bool) -> 'a option
+(** [take t pred] removes and returns the first element (in unspecified
+    internal order) satisfying [pred], or [None] if none does.  O(n) scan
+    plus O(log n) repair; used by the model checker to fire a chosen event
+    out of heap order. *)
 
 val clear : 'a t -> unit
 

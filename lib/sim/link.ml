@@ -40,7 +40,7 @@ let create ~engine ~delay ~name ~deliver =
     flight = [];
   }
 
-let transmit_timed t payload =
+let transmit_timed ?on_delivered t payload =
   let proposed = Vtime.add (Engine.now t.engine) (t.delay ()) in
   (* FIFO: never overtake a message already in flight. *)
   let arrival = Vtime.max proposed t.last_arrival in
@@ -48,7 +48,10 @@ let transmit_timed t payload =
   let entry = { id = t.next_id; payload = Some payload; arrival } in
   t.next_id <- entry.id + 1;
   t.flight <- entry :: t.flight;
-  Engine.schedule_at t.engine arrival (fun () ->
+  (* Label the event with the link name so an external scheduling policy
+     (the model checker) can tell which channel each pending delivery
+     belongs to and preserve per-link FIFO while reordering across links. *)
+  Engine.schedule_at ~label:("link:" ^ t.name) t.engine arrival (fun () ->
       t.flight <- List.filter (fun e -> e.id <> entry.id) t.flight;
       (* Read the payload at fire time: a transient fault may have rewritten
          or dropped it while in transit. *)
@@ -56,12 +59,16 @@ let transmit_timed t payload =
       | None -> ()
       | Some m ->
         Trace.incr (Engine.trace t.engine) "net.msgs";
-        t.deliver m));
+        t.deliver m);
+      (* Notify after the receiver processed the message, even if a
+         transient fault dropped the payload: the delivery *slot* happened,
+         which is what synchronized-broadcast waiters count. *)
+      match on_delivered with None -> () | Some f -> f ());
   arrival
 
 let send t m = ignore (transmit_timed t m)
 
-let send_timed t m = transmit_timed t m
+let send_timed ?on_delivered t m = transmit_timed ?on_delivered t m
 
 let in_flight t =
   List.rev t.flight

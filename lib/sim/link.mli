@@ -34,10 +34,14 @@ val send : 'm t -> 'm -> unit
 (** Transmit a message.  Arrival time is [now + delay ()], pushed later if
     needed to preserve FIFO order with messages already in flight. *)
 
-val send_timed : 'm t -> 'm -> Vtime.t
-(** Like {!send}, also returning the chosen arrival instant.  The
-    ss-broadcast implementation uses this to realize the synchronized
-    delivery property (return after the (n-2t)-th correct delivery). *)
+val send_timed : ?on_delivered:(unit -> unit) -> 'm t -> 'm -> Vtime.t
+(** Like {!send}, also returning the chosen arrival instant.
+    [on_delivered] fires when the message's delivery event does, after the
+    receiver processed it — and even if a transient fault dropped the
+    payload in transit (the delivery slot still happened).  The
+    ss-broadcast implementation counts these callbacks to realize the
+    synchronized delivery property (return after the (n-2t)-th correct
+    delivery) under any scheduling order. *)
 
 val in_flight : 'm t -> 'm list
 (** Messages currently in transit, in arrival order. *)

@@ -22,4 +22,8 @@ val recv_until : engine:Engine.t -> deadline:Vtime.t -> 'm t -> 'm option
 val drain : 'm t -> 'm list
 (** Dequeue everything currently queued, without blocking. *)
 
+val to_list : 'm t -> 'm list
+(** Everything currently queued, oldest first, without dequeuing — for
+    state fingerprinting by the model checker. *)
+
 val length : 'm t -> int

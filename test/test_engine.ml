@@ -85,6 +85,65 @@ let test_quiescent () =
   Sim.Engine.run e;
   check_true "quiescent after run" (Sim.Engine.quiescent e)
 
+(* A workload with same-instant collisions and nested scheduling, fired
+   two ways: the classic [run] loop and iterated [step].  Both must
+   produce the same firing order and final clock. *)
+let test_run_equals_iterated_step () =
+  let execute drive =
+    let e = mk () in
+    let log = ref [] in
+    let fire tag () =
+      log := (tag, Sim.Vtime.to_int (Sim.Engine.now e)) :: !log
+    in
+    for i = 1 to 5 do
+      Sim.Engine.schedule e ~delay:(i mod 3) (fun () ->
+          fire (Printf.sprintf "a%d" i) ();
+          if i mod 2 = 0 then
+            Sim.Engine.schedule e ~delay:i (fire (Printf.sprintf "b%d" i)))
+    done;
+    Sim.Engine.schedule e ~delay:2 (fire "c");
+    drive e;
+    (List.rev !log, Sim.Vtime.to_int (Sim.Engine.now e))
+  in
+  let via_run = execute Sim.Engine.run in
+  let via_step = execute (fun e -> while Sim.Engine.step e do () done) in
+  check_true "same firing order and final clock" (via_run = via_step)
+
+let test_step_empty () =
+  let e = mk () in
+  check_false "step on empty queue" (Sim.Engine.step e);
+  check_int "clock untouched" 0 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_ready_snapshot () =
+  let e = mk () in
+  Sim.Engine.schedule ~label:"b" e ~delay:2 ignore;
+  Sim.Engine.schedule ~label:"a" e ~delay:1 ignore;
+  Sim.Engine.schedule ~label:"c" e ~delay:1 ignore;
+  let rs = Sim.Engine.ready e in
+  let labels = List.map (fun (r : Sim.Engine.ready_event) -> r.r_label) rs in
+  check_true "(time, seq) order: a and c tie on time, a was first"
+    (labels = [ "a"; "c"; "b" ]);
+  check_int "snapshot does not consume" 3 (Sim.Engine.pending e);
+  check_true "ready is stable" (Sim.Engine.ready e = rs)
+
+let test_fire_out_of_order () =
+  let e = mk () in
+  let order = ref [] in
+  Sim.Engine.schedule ~label:"x" e ~delay:5 (fun () -> order := "x" :: !order);
+  Sim.Engine.schedule ~label:"y" e ~delay:1 (fun () -> order := "y" :: !order);
+  let seq_of label =
+    (List.find
+       (fun (r : Sim.Engine.ready_event) -> String.equal r.r_label label)
+       (Sim.Engine.ready e))
+      .r_seq
+  in
+  check_true "fire the later event first" (Sim.Engine.fire e ~seq:(seq_of "x"));
+  check_int "clock jumps to it" 5 (Sim.Vtime.to_int (Sim.Engine.now e));
+  check_true "fire the earlier event" (Sim.Engine.fire e ~seq:(seq_of "y"));
+  check_int "clock never rewinds" 5 (Sim.Vtime.to_int (Sim.Engine.now e));
+  check_false "unknown seq refused" (Sim.Engine.fire e ~seq:9999);
+  check_true "both fired, chosen order" (List.rev !order = [ "x"; "y" ])
+
 let tests =
   [
     case "time advances" test_time_advances;
@@ -96,4 +155,8 @@ let tests =
     case "past schedule clamped" test_past_schedule_clamped;
     case "negative delay clamped" test_negative_delay_clamped;
     case "quiescence" test_quiescent;
+    case "run equals iterated step" test_run_equals_iterated_step;
+    case "step on empty queue" test_step_empty;
+    case "ready snapshot" test_ready_snapshot;
+    case "fire out of order" test_fire_out_of_order;
   ]

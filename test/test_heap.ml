@@ -62,6 +62,39 @@ let prop_heap_sort =
       in
       drain [] = List.sort Int.compare xs)
 
+(* The engine's same-instant FIFO guarantee comes from tagging events
+   with a sequence number inside the comparator — the heap itself is not
+   stable.  Model exactly that contract: push (time, seq) pairs with seq
+   assigned in push order, interleave pops, and require every pop to
+   return the pending pair that is smallest in (time, seq).  Times are
+   drawn from a tiny domain so same-instant collisions dominate. *)
+let prop_same_instant_fifo =
+  QCheck.Test.make ~name:"same-instant FIFO under interleaved pops"
+    ~count:300
+    QCheck.(list (option (int_bound 3)))
+    (fun ops ->
+      let cmp (t1, s1) (t2, s2) =
+        match Int.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+      in
+      let h = Sim.Heap.create ~cmp in
+      let pending = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (function
+          | Some time ->
+            let x = (time, !seq) in
+            incr seq;
+            Sim.Heap.push h x;
+            pending := List.sort cmp (x :: !pending);
+            true
+          | None -> (
+            match !pending with
+            | [] -> Sim.Heap.pop h = None
+            | x :: rest ->
+              pending := rest;
+              Sim.Heap.pop h = Some x))
+        ops)
+
 let tests =
   [
     case "empty heap" test_empty;
@@ -71,4 +104,5 @@ let tests =
     case "clear" test_clear;
     case "iter_unordered" test_iter_unordered;
     qcheck prop_heap_sort;
+    qcheck prop_same_instant_fifo;
   ]

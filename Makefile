@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test experiments bench examples clean outputs
+.PHONY: all build test lint lint-baseline experiments bench examples clean outputs
 
 all: build
 
@@ -9,6 +9,16 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis (stablint): fails on any finding not in the committed
+# lint-baseline.json.  Writes the machine-readable report next to it.
+lint:
+	dune exec bin/lint.exe -- run --json lint-report.json
+
+# Re-absorb the current findings into the baseline.  Use sparingly and
+# only with a justification per entry.
+lint-baseline:
+	dune exec bin/lint.exe -- run --update-baseline
 
 experiments:
 	dune exec bin/experiments.exe -- run all

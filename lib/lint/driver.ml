@@ -1,0 +1,122 @@
+type file_result = { findings : Finding.t list; suppressed : int }
+
+let parse_rule_id = "PARSE"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_implementation ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+    let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
+    let msg =
+      match exn with
+      | Syntaxerr.Error _ -> "syntax error"
+      | e -> Printexc.to_string e
+    in
+    Error (line, msg)
+
+let lint_source ~rules ~scope ~file source =
+  match parse_implementation ~file source with
+  | Error (line, msg) ->
+    {
+      findings =
+        [
+          Finding.v ~file ~line:(max line 1) ~col:0 ~rule:parse_rule_id
+            ~severity:Finding.Error
+            (Printf.sprintf "file does not parse: %s" msg);
+        ];
+      suppressed = 0;
+    }
+  | Ok ast ->
+    let acc = ref [] in
+    let ctx = { Rule.file; scope; add = (fun f -> acc := f :: !acc) } in
+    List.iter
+      (fun (r : Rule.t) ->
+        match r.kind with
+        | Rule.Ast check when r.applies scope -> check ctx ast
+        | Rule.Ast _ | Rule.Tree _ -> ())
+      rules;
+    let spans = Suppress.collect ~source ast in
+    let findings, suppressed =
+      Suppress.filter spans (List.sort_uniq Finding.compare !acc)
+    in
+    { findings; suppressed }
+
+let lint_file ~rules ?scope ?display path =
+  let display = Option.value display ~default:path in
+  let scope =
+    match scope with Some s -> s | None -> Rule.classify display
+  in
+  lint_source ~rules ~scope ~file:display (read_file path)
+
+(* --- tree walk ------------------------------------------------------- *)
+
+let skip_dir name =
+  String.length name = 0
+  || name.[0] = '.'
+  || name.[0] = '_'
+  || String.equal name "lint_fixtures"
+
+let rec walk fs_dir rel acc =
+  let entries = Sys.readdir fs_dir in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc name ->
+      let fs = Filename.concat fs_dir name in
+      let rel = if String.equal rel "" then name else rel ^ "/" ^ name in
+      if Sys.is_directory fs then
+        if skip_dir name then acc else walk fs rel acc
+      else if Filename.check_suffix name ".ml" then (rel, fs) :: acc
+      else acc)
+    acc entries
+
+type scan_result = {
+  files_scanned : int;
+  findings : Finding.t list;
+  suppressed : int;
+}
+
+let scan ?(rules = Rules.all) ~root ~paths () =
+  let files =
+    List.fold_left
+      (fun acc p ->
+        let fs = Filename.concat root p in
+        if Sys.file_exists fs && Sys.is_directory fs then walk fs p acc
+        else acc)
+      [] paths
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let per_file =
+    List.map
+      (fun (rel, fs) ->
+        let scope = Rule.classify rel in
+        lint_file ~rules ~scope ~display:rel fs)
+      files
+  in
+  let tree_findings =
+    let classified = List.map (fun (rel, _) -> (rel, Rule.classify rel)) files in
+    List.concat_map
+      (fun (r : Rule.t) ->
+        match r.kind with
+        | Rule.Tree check -> check ~root classified
+        | Rule.Ast _ -> [])
+      rules
+  in
+  {
+    files_scanned = List.length files;
+    findings =
+      List.sort Finding.compare
+        (tree_findings
+        @ List.concat_map (fun (r : file_result) -> r.findings) per_file);
+    suppressed =
+      List.fold_left
+        (fun n (r : file_result) -> n + r.suppressed)
+        0 per_file;
+  }

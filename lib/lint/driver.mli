@@ -1,0 +1,44 @@
+(** The stablint driver: parse, run rules, suppress, aggregate.
+
+    [scan] is what [bin/lint.exe] and the self-lint test use; the
+    [lint_source]/[lint_file] entry points let fixture tests target one
+    rule at one file without directory-scoping getting in the way. *)
+
+type file_result = { findings : Finding.t list; suppressed : int }
+
+val lint_source :
+  rules:Rule.t list ->
+  scope:Rule.scope ->
+  file:string ->
+  string ->
+  file_result
+(** Run the AST rules of [rules] that apply to [scope] over one source
+    text; [file] is the display path used in findings.  A file that does
+    not parse yields a single [PARSE] finding. *)
+
+val lint_file :
+  rules:Rule.t list ->
+  ?scope:Rule.scope ->
+  ?display:string ->
+  string ->
+  file_result
+(** Read and lint one file.  [scope] defaults to [Rule.classify display];
+    [display] defaults to the given path. *)
+
+type scan_result = {
+  files_scanned : int;
+  findings : Finding.t list;  (** canonical order, suppressions applied *)
+  suppressed : int;
+}
+
+val scan :
+  ?rules:Rule.t list -> root:string -> paths:string list -> unit -> scan_result
+(** Walk [root/<path>] for every [path] in [paths], lint every [.ml]
+    (skipping [_build]-style and hidden directories), and run tree rules
+    (mli coverage) over the collected file list.  [rules] defaults to
+    {!Rules.all}.  The scan order — and therefore the report — is
+    deterministic: files are visited in sorted path order and findings
+    are sorted canonically. *)
+
+val parse_rule_id : string
+(** The pseudo rule id used for files that fail to parse. *)

@@ -1,0 +1,72 @@
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let v ~file ~line ~col ~rule ~severity message =
+  { file; line; col; rule; severity; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> (
+        match String.compare a.rule b.rule with
+        | 0 -> String.compare a.message b.message
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("file", Obs.Json.Str t.file);
+      ("line", Obs.Json.Int t.line);
+      ("col", Obs.Json.Int t.col);
+      ("rule", Obs.Json.Str t.rule);
+      ("severity", Obs.Json.Str (severity_to_string t.severity));
+      ("message", Obs.Json.Str t.message);
+    ]
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Obs.Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "finding: missing or ill-typed %S" name)
+  in
+  let* file = field "file" Obs.Json.to_string_opt in
+  let* line = field "line" Obs.Json.to_int_opt in
+  let* col = field "col" Obs.Json.to_int_opt in
+  let* rule = field "rule" Obs.Json.to_string_opt in
+  let* sev = field "severity" Obs.Json.to_string_opt in
+  let* severity =
+    match severity_of_string sev with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "finding: unknown severity %S" sev)
+  in
+  let* message = field "message" Obs.Json.to_string_opt in
+  Ok { file; line; col; rule; severity; message }
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s: %s" t.file t.line t.col t.rule
+    (severity_to_string t.severity)
+    t.message
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,204 @@
+module Json = Obs.Json
+
+let schema_version = "stabreg/lint-report/v1"
+
+let baseline_schema_version = "stabreg/lint-baseline/v1"
+
+type entry = { file : string; rule : string; line : int }
+
+let entry_compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> String.compare a.rule b.rule
+    | c -> c)
+  | c -> c
+
+let entry_matches e (f : Finding.t) =
+  String.equal e.file f.Finding.file
+  && String.equal e.rule f.Finding.rule
+  && e.line = f.Finding.line
+
+type t = {
+  paths : string list;
+  files_scanned : int;
+  suppressed : int;
+  stale_baseline : int;
+  fresh : Finding.t list;
+  baselined : Finding.t list;
+}
+
+let make ~paths ~files_scanned ~suppressed ~baseline findings =
+  let baselined, fresh =
+    List.partition
+      (fun f -> List.exists (fun e -> entry_matches e f) baseline)
+      findings
+  in
+  let stale_baseline =
+    List.length
+      (List.filter
+         (fun e -> not (List.exists (fun f -> entry_matches e f) findings))
+         baseline)
+  in
+  { paths; files_scanned; suppressed; stale_baseline; fresh; baselined }
+
+(* --- report serialization ------------------------------------------- *)
+
+let finding_json ~baselined f =
+  match Finding.to_json f with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("baselined", Json.Bool baselined) ])
+  | j -> j
+
+let rule_catalog_json t =
+  let count rule_id =
+    List.length
+      (List.filter
+         (fun (f : Finding.t) -> String.equal f.Finding.rule rule_id)
+         (t.fresh @ t.baselined))
+  in
+  Json.List
+    (List.map
+       (fun (r : Rule.t) ->
+         Json.Obj
+           [
+             ("id", Json.Str r.Rule.id);
+             ("name", Json.Str r.Rule.name);
+             ("summary", Json.Str r.Rule.summary);
+             ("severity", Json.Str (Finding.severity_to_string r.Rule.severity));
+             ("findings", Json.Int (count r.Rule.id));
+           ])
+       Rules.all)
+
+let to_json t =
+  let all =
+    List.sort Finding.compare (t.fresh @ t.baselined)
+    |> List.map (fun f ->
+           finding_json
+             ~baselined:(List.exists (fun g -> g == f) t.baselined)
+             f)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("tool", Json.Str "stablint");
+      ("paths", Json.List (List.map (fun p -> Json.Str p) t.paths));
+      ("files_scanned", Json.Int t.files_scanned);
+      ( "summary",
+        Json.Obj
+          [
+            ("new", Json.Int (List.length t.fresh));
+            ("baselined", Json.Int (List.length t.baselined));
+            ("suppressed", Json.Int t.suppressed);
+            ("stale_baseline", Json.Int t.stale_baseline);
+          ] );
+      ("rules", rule_catalog_json t);
+      ("findings", Json.List all);
+    ]
+
+let render t = Json.to_string_pretty (to_json t) ^ "\n"
+
+(* --- validation ------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed %S" name)
+
+let check_schema want j =
+  let* got = field "schema" Json.to_string_opt j in
+  if String.equal got want then Ok ()
+  else Error (Printf.sprintf "schema mismatch: got %S, want %S" got want)
+
+let validate j =
+  let* () = check_schema schema_version j in
+  let* _tool = field "tool" Json.to_string_opt j in
+  let* paths = field "paths" Json.to_list_opt j in
+  let* () =
+    if List.for_all (fun p -> Json.to_string_opt p <> None) paths then Ok ()
+    else Error "paths: expected a list of strings"
+  in
+  let* _files = field "files_scanned" Json.to_int_opt j in
+  let* summary = field "summary" Json.to_obj_opt j in
+  let* () =
+    List.fold_left
+      (fun acc key ->
+        let* () = acc in
+        match List.assoc_opt key summary with
+        | Some (Json.Int _) -> Ok ()
+        | _ -> Error (Printf.sprintf "summary.%s: expected an integer" key))
+      (Ok ())
+      [ "new"; "baselined"; "suppressed"; "stale_baseline" ]
+  in
+  let* rules = field "rules" Json.to_list_opt j in
+  let* () =
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        let* _id = field "id" Json.to_string_opt r in
+        let* _name = field "name" Json.to_string_opt r in
+        let* _summary = field "summary" Json.to_string_opt r in
+        let* _count = field "findings" Json.to_int_opt r in
+        Ok ())
+      (Ok ()) rules
+  in
+  let* findings = field "findings" Json.to_list_opt j in
+  List.fold_left
+    (fun acc f ->
+      let* () = acc in
+      let* _ = Finding.of_json f in
+      match Json.member "baselined" f with
+      | Some (Json.Bool _) -> Ok ()
+      | _ -> Error "finding: missing or ill-typed \"baselined\"")
+    (Ok ()) findings
+
+(* --- baseline -------------------------------------------------------- *)
+
+let baseline_of_findings findings =
+  let entries =
+    findings
+    |> List.map (fun (f : Finding.t) ->
+           Json.Obj
+             [
+               ("file", Json.Str f.Finding.file);
+               ("rule", Json.Str f.Finding.rule);
+               ("line", Json.Int f.Finding.line);
+               ("note", Json.Str f.Finding.message);
+             ])
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str baseline_schema_version);
+      ("entries", Json.List entries);
+    ]
+
+let render_baseline j = Json.to_string_pretty j ^ "\n"
+
+let baseline_entries j =
+  let* () = check_schema baseline_schema_version j in
+  let* entries = field "entries" Json.to_list_opt j in
+  let* parsed =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* file = field "file" Json.to_string_opt e in
+        let* rule = field "rule" Json.to_string_opt e in
+        let* line = field "line" Json.to_int_opt e in
+        Ok ({ file; rule; line } :: acc))
+      (Ok []) entries
+  in
+  Ok (List.sort entry_compare parsed)
+
+let validate_baseline j =
+  let* _ = baseline_entries j in
+  Ok ()
+
+let validate_any j =
+  let* schema = field "schema" Json.to_string_opt j in
+  if String.equal schema schema_version then validate j
+  else if String.equal schema baseline_schema_version then validate_baseline j
+  else
+    Error
+      (Printf.sprintf "unknown schema %S (expected %S or %S)" schema
+         schema_version baseline_schema_version)

@@ -1,0 +1,29 @@
+type scope = Lib of string | Bin | Other
+
+let classify path =
+  match String.split_on_char '/' path with
+  | "lib" :: l :: _ :: _ -> Lib l
+  | "bin" :: _ :: _ -> Bin
+  | _ -> Other
+
+type ctx = { file : string; scope : scope; add : Finding.t -> unit }
+
+type kind =
+  | Ast of (ctx -> Parsetree.structure -> unit)
+  | Tree of (root:string -> (string * scope) list -> Finding.t list)
+
+type t = {
+  id : string;
+  name : string;
+  summary : string;
+  severity : Finding.severity;
+  applies : scope -> bool;
+  kind : kind;
+}
+
+let finding ctx t ~loc message =
+  let pos = loc.Location.loc_start in
+  ctx.add
+    (Finding.v ~file:ctx.file ~line:pos.Lexing.pos_lnum
+       ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+       ~rule:t.id ~severity:t.severity message)

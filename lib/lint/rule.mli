@@ -1,0 +1,40 @@
+(** Rule registry types.
+
+    A rule is either an AST pass over one parsed implementation file or a
+    tree-level pass over the full file list (used by the mli-coverage
+    rule).  Rules declare which part of the tree they apply to via
+    {!applies}; the driver consults it per file so fixture trees and the
+    real repository are scoped the same way. *)
+
+type scope =
+  | Lib of string  (** a file under [lib/<name>/] *)
+  | Bin  (** a file under [bin/] *)
+  | Other
+
+val classify : string -> scope
+(** Classify a [/]-separated path relative to the scan root. *)
+
+type ctx = {
+  file : string;  (** display path of the file being checked *)
+  scope : scope;
+  add : Finding.t -> unit;
+}
+
+type kind =
+  | Ast of (ctx -> Parsetree.structure -> unit)
+      (** runs once per parsed [.ml] in scope *)
+  | Tree of (root:string -> (string * scope) list -> Finding.t list)
+      (** runs once per scan over every (display path, scope) pair;
+          [root] is the filesystem directory the paths are relative to *)
+
+type t = {
+  id : string;  (** stable id, e.g. ["R1"] *)
+  name : string;  (** kebab-case short name *)
+  summary : string;  (** one-line description for the report catalog *)
+  severity : Finding.severity;
+  applies : scope -> bool;
+  kind : kind;
+}
+
+val finding : ctx -> t -> loc:Location.t -> string -> unit
+(** Record a finding for [t] at [loc] (start position). *)

@@ -1,0 +1,51 @@
+(** The stablint rule catalog.
+
+    Five rules enforce the invariants the replay/model-checking layers
+    assume (see EXPERIMENTS.md, "Static analysis"):
+
+    - {b R1 no-nondeterminism}: no ambient randomness ([Random.int] and
+      friends on the global state, [Random.State.make_self_init]), no
+      wall-clock reads ([Unix.gettimeofday], [Unix.time], [Sys.time]),
+      no order-sensitive [Hashtbl.iter], and no [Hashtbl.fold] whose
+      result is not immediately sorted.  Scoped to the
+      determinism-critical libraries ([sim], [mc], [chaos], [registers],
+      [history], [obs]).  Seeded [Random.State] values are allowed: they
+      are deterministic given the seed.
+    - {b R2 no-polymorphic-compare}: no [Stdlib.compare] (or qualified
+      polymorphic [=], [<>], [<], [>], [<=], [>=]), no bare [compare]
+      passed as a comparator argument, and no [=]/[<>] applied to a
+      syntactically structured operand (record, tuple, constructor
+      application, list/array literal).  Scoped to protocol/oracle code
+      ([registers], [history], [mc], [chaos]).
+    - {b R3 no-wildcard-message-match}: no [_ ->] (or or-pattern
+      containing [_]) in a [match]/[function] that elsewhere names a
+      message/event constructor (a constructor qualified by a module
+      path mentioning [Messages] or [Event]).  Adding a constructor must
+      force every handler to take a position.
+    - {b R4 no-partial-functions}: no [List.hd], [List.tl], [List.nth],
+      [Option.get], explicit [Array.get] on a computed index, or bare
+      [failwith] in protocol hot paths ([registers], [history], [mc],
+      [chaos], [sim], [datalink]).  A partial call whose enclosing
+      [match] carries an [exception] case is handled and not flagged.
+    - {b R5 mli-coverage}: every [.ml] under [lib/] must have a sibling
+      [.mli].
+
+    Every rule is suppressible at the site with
+    [[@lint.allow "R<n>"]] / [[@@lint.allow "R<n>"]] /
+    [[@@@lint.allow "R<n>"]] or a [(* lint: allow R<n> *)] line pragma;
+    see {!Suppress}. *)
+
+val r1 : Rule.t
+
+val r2 : Rule.t
+
+val r3 : Rule.t
+
+val r4 : Rule.t
+
+val r5 : Rule.t
+
+val all : Rule.t list
+(** The registry, in id order. *)
+
+val by_id : string -> Rule.t option

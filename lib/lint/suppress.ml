@@ -1,0 +1,121 @@
+open Parsetree
+
+type span = { rules : string list; start_line : int; end_line : int }
+
+let attr_name = "lint.allow"
+
+let split_ids s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun t -> not (String.equal t ""))
+
+let rules_of_payload = function
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] ->
+    let rec strings e =
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_string (s, _, _)) -> split_ids s
+      | Pexp_tuple es -> List.concat_map strings es
+      | _ -> []
+    in
+    strings e
+  | _ -> []
+
+let rules_of_attrs attrs =
+  List.concat_map
+    (fun a ->
+      if String.equal a.attr_name.txt attr_name then
+        rules_of_payload a.attr_payload
+      else [])
+    attrs
+
+let span_of_loc rules (loc : Location.t) =
+  {
+    rules;
+    start_line = loc.loc_start.pos_lnum;
+    end_line = loc.loc_end.pos_lnum;
+  }
+
+let collect_attr_spans structure =
+  let spans = ref [] in
+  let note rules loc = if rules <> [] then spans := span_of_loc rules loc :: !spans in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+           | Pstr_attribute a ->
+             (* floating [@@@lint.allow ...]: whole file *)
+             let rules = rules_of_attrs [ a ] in
+             if rules <> [] then
+               spans := { rules; start_line = 1; end_line = max_int } :: !spans
+           | _ -> ());
+          Ast_iterator.default_iterator.structure_item it si);
+      value_binding =
+        (fun it vb ->
+          note (rules_of_attrs vb.pvb_attributes) vb.pvb_loc;
+          Ast_iterator.default_iterator.value_binding it vb);
+      expr =
+        (fun it e ->
+          note (rules_of_attrs e.pexp_attributes) e.pexp_loc;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it structure;
+  !spans
+
+(* --- line pragmas ---------------------------------------------------- *)
+
+(* Find [lint: allow <ids>] inside a source line; ids stop at a "--"
+   token, a comment-close token or end of line. *)
+let pragma_rules line =
+  let needle = "lint:" in
+  let nlen = String.length needle in
+  let len = String.length line in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.equal (String.sub line i nlen) needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start -> (
+    let rest = String.sub line start (len - start) in
+    let toks = String.split_on_char ' ' rest in
+    let toks = List.filter (fun t -> not (String.equal t "")) toks in
+    match toks with
+    | "allow" :: ids ->
+      let rec keep = function
+        | [] -> []
+        | t :: _ when String.equal t "--" || String.length t >= 2
+                      && String.equal (String.sub t 0 2) "*)" ->
+          []
+        | t :: tl -> t :: keep tl
+      in
+      keep ids
+    | _ -> [])
+
+let collect_pragma_spans source =
+  let lines = String.split_on_char '\n' source in
+  List.mapi
+    (fun i line ->
+      match pragma_rules line with
+      | [] -> None
+      | rules -> Some { rules; start_line = i + 1; end_line = i + 1 })
+    lines
+  |> List.filter_map Fun.id
+
+let collect ~source structure =
+  collect_attr_spans structure @ collect_pragma_spans source
+
+let covered spans (f : Finding.t) =
+  List.exists
+    (fun s ->
+      List.mem f.Finding.rule s.rules
+      && s.start_line <= f.Finding.line
+      && f.Finding.line <= s.end_line)
+    spans
+
+let filter spans findings =
+  let kept, dropped = List.partition (fun f -> not (covered spans f)) findings in
+  (kept, List.length dropped)

@@ -1,0 +1,26 @@
+(** Explicit, carried-in-source finding suppression.
+
+    Two forms, both naming the rule id so a suppression is always a
+    visible, reviewable decision:
+
+    - attributes: [[@lint.allow "R1"]] on an expression,
+      [[@@lint.allow "R1 R4"]] on a binding, or a floating
+      [[@@@lint.allow "R2"]] covering the whole file.  The payload is one
+      string of space/comma-separated rule ids.
+    - line pragmas: a comment containing [lint: allow R1 R4] suppresses
+      the named rules on that source line.  Anything after [--] in the
+      pragma is free-text rationale.
+
+    A suppression span covers the source lines of the node (or line) it
+    is attached to; findings inside a span for a named rule are dropped
+    and counted. *)
+
+type span = { rules : string list; start_line : int; end_line : int }
+
+val collect : source:string -> Parsetree.structure -> span list
+(** All suppression spans of one file: attribute spans from the AST plus
+    pragma spans from the raw source. *)
+
+val filter : span list -> Finding.t list -> Finding.t list * int
+(** Keep findings not covered by any span; also return the number
+    suppressed. *)

@@ -131,7 +131,7 @@ let verdict_of_issues issues =
       List.stable_sort
         (fun (a, _) (b, _) -> Int.compare (severity a) (severity b))
         issues
-      |> List.hd
+      |> List.hd (* lint: allow R4 -- issues is non-empty in this branch *)
     in
     let count =
       List.length (List.filter (fun (k, _) -> String.equal k kind) issues)

@@ -65,7 +65,7 @@ let validate c =
     List.exists (fun (slot, _) -> slot < 0 || slot >= c.n) c.byz
   then err "byzantine slot out of range"
   else if
-    List.length (List.sort_uniq compare (List.map fst c.byz))
+    List.length (List.sort_uniq Int.compare (List.map fst c.byz))
     <> List.length c.byz
   then err "duplicate byzantine slot"
   else if

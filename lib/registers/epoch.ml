@@ -14,6 +14,11 @@ let is_wellformed ~k e =
 
 let equal e1 e2 = e1.s = e2.s && e1.a = e2.a
 
+let compare_structural e1 e2 =
+  match Int.compare e1.s e2.s with
+  | 0 -> List.compare Int.compare e1.a e2.a
+  | c -> c
+
 let mem x set = List.exists (fun y -> y = x) set
 
 let gt ei ej = mem ej.s ei.a && not (mem ei.s ej.a)

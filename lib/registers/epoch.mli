@@ -23,6 +23,12 @@ val is_wellformed : k:int -> t -> bool
 
 val equal : t -> t -> bool
 
+val compare_structural : t -> t -> int
+(** A {e total} structural order ([s], then [a] lexicographically),
+    consistent with [equal].  This is not the semantic (partial) epoch
+    order {!gt}; it exists so containers and typed comparators over
+    values carrying epochs never fall back to polymorphic compare. *)
+
 val gt : t -> t -> bool
 (** The partial order [>]: [gt ei ej] iff [ej.s ∈ ei.a  ∧  ei.s ∉ ej.a]. *)
 

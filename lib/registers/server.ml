@@ -31,10 +31,14 @@ let handle t (env : Messages.server_envelope) =
     if new_read then i.helping <- None;
     Some (Messages.Ack_read (i.last_val, i.helping))
 
+(* Corrupt instances in sorted-key order: the rng draws then depend only
+   on which instances exist, not on hash-table layout, so a corruption at
+   a given seed is reproducible across insertion orders and OCaml
+   versions. *)
 let corrupt t rng =
-  Hashtbl.iter
-    (fun _ i ->
+  List.iter
+    (fun (_, i) ->
       i.last_val <- Messages.arbitrary_cell rng;
       i.helping <-
         (if Sim.Rng.bool rng then None else Some (Messages.arbitrary_cell rng)))
-    t.insts
+    (instances t)

@@ -11,7 +11,26 @@ let rec equal v1 v2 =
     a.seq = b.seq && Epoch.equal a.epoch b.epoch && equal a.data b.data
   | (Bot | Int _ | Str _ | Stamped _), _ -> false
 
-let compare = Stdlib.compare
+(* Total structural order: Bot < Int < Str < Stamped, then componentwise.
+   Typed all the way down — no polymorphic compare on protocol values. *)
+let rec compare v1 v2 =
+  match (v1, v2) with
+  | Bot, Bot -> 0
+  | Bot, _ -> -1
+  | _, Bot -> 1
+  | Int a, Int b -> Int.compare a b
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str a, Str b -> String.compare a b
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Stamped a, Stamped b -> (
+    match compare a.data b.data with
+    | 0 -> (
+      match Epoch.compare_structural a.epoch b.epoch with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+    | c -> c)
 
 let bot = Bot
 

@@ -18,6 +18,10 @@ and stamped = { data : t; epoch : Epoch.t; seq : int }
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
+(** Total structural order ([Bot < Int < Str < Stamped], then
+    componentwise, epochs by {!Epoch.compare_structural}), consistent
+    with {!equal}.  Typed all the way down: safe on any reachable —
+    including corrupted — value, with no polymorphic-compare fallback. *)
 
 val bot : t
 

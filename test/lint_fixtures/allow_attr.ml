@@ -1,0 +1,7 @@
+(* Fixture: [@@lint.allow] binding attributes suppress named rules. *)
+
+let roll () = Random.int 6 [@@lint.allow "R1"]
+
+let both () = (List.hd [], Sys.time ()) [@@lint.allow "R1 R4"]
+
+let still_flagged () = Unix.gettimeofday ()

@@ -1,0 +1,5 @@
+(* Fixture: line pragmas suppress on their line only. *)
+
+let roll () = Random.int 6 (* lint: allow R1 -- fixture rationale *)
+
+let still_flagged () = Random.bool ()

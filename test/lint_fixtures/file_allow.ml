@@ -1,0 +1,9 @@
+(* Fixture: a floating [@@@lint.allow] covers the whole file. *)
+
+[@@@lint.allow "R1"]
+
+let roll () = Random.int 6
+
+let cpu () = Sys.time ()
+
+let unrelated_rule_still_fires l = List.hd l

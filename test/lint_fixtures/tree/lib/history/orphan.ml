@@ -1,0 +1,3 @@
+(* Fixture: a lib module with no .mli — R5 must flag this file. *)
+
+let x = 1

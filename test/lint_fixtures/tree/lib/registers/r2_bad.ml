@@ -1,0 +1,15 @@
+(* Fixture: polymorphic-compare patterns R2 must flag. *)
+
+type pair = { a : int; b : string }
+
+let cmp = Stdlib.compare
+
+let sort_pairs ps = List.sort compare ps
+
+let same_record x = x = { a = 1; b = "s" }
+
+let diff_list l = l <> [ 1; 2 ]
+
+let qualified_eq x y = Stdlib.( = ) x y
+
+let ok x y = Int.compare x y

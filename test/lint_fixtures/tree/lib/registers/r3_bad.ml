@@ -1,0 +1,26 @@
+(* Fixture: wildcard catch-alls in matches over message constructors. *)
+
+let handle m =
+  match m with
+  | Messages.Write _ -> 1
+  | Messages.New_help _ -> 2
+  | _ -> 0
+
+let classify = function
+  | Obs.Event.Drop -> 0
+  | Obs.Event.Send _ | _ -> 1
+
+let total m =
+  match m with
+  | Messages.Write _ -> `W
+  | Messages.New_help _ -> `H
+  | Messages.Read _ -> `R
+
+let not_messages s = match s with "liveness" -> 1 | _ -> 0
+
+let exn_ok m =
+  match Messages.parse m with
+  | Messages.Write _ -> 1
+  | Messages.New_help _ -> 2
+  | Messages.Read _ -> 3
+  | exception _ -> 0

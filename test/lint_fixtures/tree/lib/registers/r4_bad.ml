@@ -1,0 +1,24 @@
+(* Fixture: partial-function patterns R4 must flag, and the handled
+   shapes it must not. *)
+
+let first l = List.hd l
+
+let pick l i = List.nth l i
+
+let force o = Option.get o
+
+let at a i = Array.get a i
+
+let at0 a = Array.get a 0
+
+let sugar a i = a.(i)
+
+let boom () = failwith "boom"
+
+let safe l i =
+  match List.nth l i with x -> Some x | exception _ -> None
+
+let safe_fail x =
+  match (if x then failwith "no" else x) with
+  | y -> y
+  | exception Failure _ -> false

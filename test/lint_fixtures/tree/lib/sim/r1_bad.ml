@@ -1,0 +1,20 @@
+(* Fixture: every nondeterminism pattern R1 must flag, plus the
+   sanctioned shapes it must not.  Never compiled — only parsed. *)
+
+let roll () = Random.int 6
+
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()
+
+let snapshot t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+
+let sorted_snapshot t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let visit t f = Hashtbl.iter f t
+
+let seeded = Random.State.make [| 7 |]
+
+let reseeded () = Random.State.make_self_init ()

@@ -1,0 +1,1 @@
+(* Interface stub so the fixture tree only trips R5 where intended. *)

@@ -1,0 +1,220 @@
+(* stablint: every rule fires at the expected places on known-bad
+   fixtures, suppressions are honored, the repo's own lint run is clean
+   against the committed baseline, and the report artifact is
+   deterministic and schema-valid. *)
+
+open Util
+
+let finding_list = Alcotest.(check (list (pair string int)))
+
+let rule_lines (r : Lint.Driver.file_result) =
+  List.map
+    (fun (f : Lint.Finding.t) -> (f.Lint.Finding.rule, f.Lint.Finding.line))
+    r.Lint.Driver.findings
+
+let fixture ?(rules = Lint.Rules.all) ~display path =
+  Lint.Driver.lint_file ~rules ~display ("lint_fixtures/" ^ path)
+
+(* --- per-rule fixtures ----------------------------------------------- *)
+
+let test_r1_fixture () =
+  let r = fixture ~rules:[ Lint.Rules.r1 ] ~display:"lib/sim/r1_bad.ml"
+      "tree/lib/sim/r1_bad.ml"
+  in
+  finding_list "R1 sites"
+    [ ("R1", 4); ("R1", 6); ("R1", 8); ("R1", 10); ("R1", 16); ("R1", 20) ]
+    (rule_lines r);
+  check_int "nothing suppressed" 0 r.Lint.Driver.suppressed
+
+let test_r2_fixture () =
+  let r = fixture ~rules:[ Lint.Rules.r2 ]
+      ~display:"lib/registers/r2_bad.ml" "tree/lib/registers/r2_bad.ml"
+  in
+  finding_list "R2 sites"
+    [ ("R2", 5); ("R2", 7); ("R2", 9); ("R2", 11); ("R2", 13) ]
+    (rule_lines r)
+
+let test_r3_fixture () =
+  let r = fixture ~rules:[ Lint.Rules.r3 ]
+      ~display:"lib/registers/r3_bad.ml" "tree/lib/registers/r3_bad.ml"
+  in
+  finding_list "R3 sites" [ ("R3", 7); ("R3", 11) ] (rule_lines r)
+
+let test_r4_fixture () =
+  let r = fixture ~rules:[ Lint.Rules.r4 ]
+      ~display:"lib/registers/r4_bad.ml" "tree/lib/registers/r4_bad.ml"
+  in
+  finding_list "R4 sites"
+    [ ("R4", 4); ("R4", 6); ("R4", 8); ("R4", 10); ("R4", 16) ]
+    (rule_lines r)
+
+let test_scoping () =
+  (* The same bad code outside a scoped library yields nothing. *)
+  let r = fixture ~display:"bin/r1_bad.ml" "tree/lib/sim/r1_bad.ml" in
+  finding_list "bin is out of R1 scope" [] (rule_lines r);
+  let r = fixture ~display:"lib/kv/r2_bad.ml" "tree/lib/registers/r2_bad.ml" in
+  finding_list "kv is out of R2 scope" [] (rule_lines r)
+
+(* --- suppression ------------------------------------------------------ *)
+
+let test_allow_attribute () =
+  let r = fixture ~display:"lib/sim/allow_attr.ml" "allow_attr.ml" in
+  finding_list "only the unsuppressed site" [ ("R1", 7) ] (rule_lines r);
+  check_int "suppressed count" 3 r.Lint.Driver.suppressed
+
+let test_allow_pragma () =
+  let r = fixture ~display:"lib/sim/allow_pragma.ml" "allow_pragma.ml" in
+  finding_list "pragma covers its line only" [ ("R1", 5) ] (rule_lines r);
+  check_int "suppressed count" 1 r.Lint.Driver.suppressed
+
+let test_file_allow () =
+  let r = fixture ~display:"lib/sim/file_allow.ml" "file_allow.ml" in
+  finding_list "other rules still fire" [ ("R4", 9) ] (rule_lines r);
+  check_int "suppressed count" 2 r.Lint.Driver.suppressed
+
+(* --- tree scan (R5 + aggregation) ------------------------------------ *)
+
+let tree_scan () =
+  Lint.Driver.scan ~root:"lint_fixtures/tree" ~paths:[ "lib" ] ()
+
+let test_tree_scan () =
+  let s = tree_scan () in
+  check_int "files" 5 s.Lint.Driver.files_scanned;
+  let by_rule id =
+    List.length
+      (List.filter
+         (fun (f : Lint.Finding.t) -> String.equal f.Lint.Finding.rule id)
+         s.Lint.Driver.findings)
+  in
+  check_int "R1" 6 (by_rule "R1");
+  check_int "R2" 5 (by_rule "R2");
+  check_int "R3" 2 (by_rule "R3");
+  check_int "R4" 5 (by_rule "R4");
+  check_int "R5" 1 (by_rule "R5");
+  let r5 =
+    List.find
+      (fun (f : Lint.Finding.t) -> String.equal f.Lint.Finding.rule "R5")
+      s.Lint.Driver.findings
+  in
+  Alcotest.(check string)
+    "R5 points at the orphan" "lib/history/orphan.ml" r5.Lint.Finding.file
+
+let test_parse_failure_is_a_finding () =
+  let r =
+    Lint.Driver.lint_source ~rules:Lint.Rules.all ~scope:(Lint.Rule.Lib "sim")
+      ~file:"lib/sim/broken.ml" "let = ;;"
+  in
+  match r.Lint.Driver.findings with
+  | [ f ] ->
+    Alcotest.(check string) "rule" Lint.Driver.parse_rule_id f.Lint.Finding.rule
+  | fs -> Alcotest.failf "expected one PARSE finding, got %d" (List.length fs)
+
+(* --- report artifact -------------------------------------------------- *)
+
+let report_of_scan s =
+  Lint.Report.make ~paths:[ "lib" ]
+    ~files_scanned:s.Lint.Driver.files_scanned
+    ~suppressed:s.Lint.Driver.suppressed ~baseline:[] s.Lint.Driver.findings
+
+let test_report_roundtrip_and_schema () =
+  let rendered = Lint.Report.render (report_of_scan (tree_scan ())) in
+  match Obs.Json.parse rendered with
+  | Error e -> Alcotest.failf "report does not reparse: %s" e
+  | Ok j -> (
+    (match Lint.Report.validate j with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "report does not validate: %s" e);
+    match Lint.Report.validate_any j with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "validate_any rejects a report: %s" e)
+
+let test_report_deterministic () =
+  let a = Lint.Report.render (report_of_scan (tree_scan ())) in
+  let b = Lint.Report.render (report_of_scan (tree_scan ())) in
+  Alcotest.(check string) "byte-identical across runs" a b
+
+let test_validate_rejects_junk () =
+  let bad = Obs.Json.Obj [ ("schema", Obs.Json.Str "stabreg/other/v1") ] in
+  check_true "wrong schema rejected"
+    (Result.is_error (Lint.Report.validate_any bad));
+  check_true "missing fields rejected"
+    (Result.is_error
+       (Lint.Report.validate
+          (Obs.Json.Obj
+             [ ("schema", Obs.Json.Str Lint.Report.schema_version) ])))
+
+let test_baseline_partition () =
+  let s = tree_scan () in
+  let baseline_json = Lint.Report.baseline_of_findings s.Lint.Driver.findings in
+  (match Lint.Report.validate_baseline baseline_json with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "baseline does not validate: %s" e);
+  let entries =
+    match Lint.Report.baseline_entries baseline_json with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "baseline reparse: %s" e
+  in
+  let report =
+    Lint.Report.make ~paths:[ "lib" ]
+      ~files_scanned:s.Lint.Driver.files_scanned
+      ~suppressed:s.Lint.Driver.suppressed ~baseline:entries
+      s.Lint.Driver.findings
+  in
+  check_int "everything baselined -> no new findings" 0
+    (List.length report.Lint.Report.fresh);
+  check_int "all findings accounted for"
+    (List.length s.Lint.Driver.findings)
+    (List.length report.Lint.Report.baselined);
+  check_int "no stale entries" 0 report.Lint.Report.stale_baseline
+
+(* --- the repo's own lint run ------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_self_lint_matches_baseline () =
+  let s = Lint.Driver.scan ~root:".." ~paths:[ "lib"; "bin" ] () in
+  check_true "scanned the real tree" (s.Lint.Driver.files_scanned > 60);
+  let entries =
+    match
+      Result.bind
+        (Obs.Json.parse (read_file "../lint-baseline.json"))
+        Lint.Report.baseline_entries
+    with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "committed baseline unreadable: %s" e
+  in
+  let report =
+    Lint.Report.make ~paths:[ "lib"; "bin" ]
+      ~files_scanned:s.Lint.Driver.files_scanned
+      ~suppressed:s.Lint.Driver.suppressed ~baseline:entries
+      s.Lint.Driver.findings
+  in
+  (match report.Lint.Report.fresh with
+   | [] -> ()
+   | fs ->
+     Alcotest.failf "lint findings outside the committed baseline:\n%s"
+       (String.concat "\n" (List.map Lint.Finding.to_string fs)));
+  check_int "no stale baseline entries" 0 report.Lint.Report.stale_baseline
+
+let tests =
+  [
+    case "R1 no-nondeterminism fixture" test_r1_fixture;
+    case "R2 no-polymorphic-compare fixture" test_r2_fixture;
+    case "R3 no-wildcard-message-match fixture" test_r3_fixture;
+    case "R4 no-partial-functions fixture" test_r4_fixture;
+    case "rules are library-scoped" test_scoping;
+    case "[@@lint.allow] suppresses" test_allow_attribute;
+    case "line pragma suppresses" test_allow_pragma;
+    case "[@@@lint.allow] covers the file" test_file_allow;
+    case "tree scan incl. mli coverage" test_tree_scan;
+    case "parse failure is a finding" test_parse_failure_is_a_finding;
+    case "report reparses and validates" test_report_roundtrip_and_schema;
+    case "report is deterministic" test_report_deterministic;
+    case "validator rejects junk" test_validate_rejects_junk;
+    case "baseline accepts and partitions" test_baseline_partition;
+    case "self-lint matches committed baseline" test_self_lint_matches_baseline;
+  ]

@@ -155,6 +155,32 @@ let test_histogram_stats () =
   check_true "summary min" (s.Obs.Report.min = 1.0);
   check_true "summary max" (s.Obs.Report.max = 100.0)
 
+(* Snapshot accessors sort by key, so report and debug output never
+   depend on hash-table layout (stablint R1 pin). *)
+let test_metrics_snapshots_sorted () =
+  let keys = [ "zeta"; "alpha"; "mu"; "beta"; "omega" ] in
+  let snapshot order =
+    let m = Obs.Metrics.create () in
+    List.iter
+      (fun k ->
+        Obs.Metrics.incr m k;
+        Obs.Metrics.set_gauge m k 1.0;
+        Obs.Metrics.observe_named m k 1.0)
+      order;
+    ( List.map fst (Obs.Metrics.counters m),
+      List.map fst (Obs.Metrics.gauges m),
+      List.map fst (Obs.Metrics.histograms m) )
+  in
+  let sorted = List.sort String.compare keys in
+  let c1, g1, h1 = snapshot keys in
+  let c2, g2, h2 = snapshot (List.rev keys) in
+  Alcotest.(check (list string)) "counters sorted" sorted c1;
+  Alcotest.(check (list string)) "gauges sorted" sorted g1;
+  Alcotest.(check (list string)) "histograms sorted" sorted h1;
+  Alcotest.(check (list string)) "counters order-independent" c1 c2;
+  Alcotest.(check (list string)) "gauges order-independent" g1 g2;
+  Alcotest.(check (list string)) "histograms order-independent" h1 h2
+
 (* --- hub fast path --- *)
 
 let test_hub_inactive_fast_path () =
@@ -260,6 +286,7 @@ let tests =
     case "report rejects malformed" test_report_rejects;
     case "histogram bucket boundaries" test_bucket_boundaries;
     case "histogram stats" test_histogram_stats;
+    case "metric snapshots are key-sorted" test_metrics_snapshots_sorted;
     case "hub inactive fast path" test_hub_inactive_fast_path;
     case "op ids monotonic" test_op_ids_monotonic;
     case "instrumented scenario" test_instrumented_scenario;

@@ -70,8 +70,32 @@ let test_corrupt_changes_state () =
   check_false "state scrambled"
     (Messages.cell_equal i.Server.last_val (cell 1 42))
 
+(* Corruption draws rng values in sorted-instance order (stablint R1):
+   the resulting state must not depend on the hash-table insertion
+   order of the instances. *)
+let test_corrupt_insertion_order_independent () =
+  let build order =
+    let srv = Server.create ~id:0 in
+    List.iter (fun inst -> ignore (Server.instance srv inst)) order;
+    Server.corrupt srv (Sim.Rng.create 1234);
+    Server.instances srv
+  in
+  let a = build [ 0; 1; 2; 3; 4 ] in
+  let b = build [ 3; 0; 4; 2; 1 ] in
+  check_int "same instance count" (List.length a) (List.length b);
+  List.iter2
+    (fun (ka, ia) (kb, ib) ->
+      check_int "same key" ka kb;
+      check_true "same corrupted cell"
+        (Messages.cell_equal ia.Server.last_val ib.Server.last_val);
+      check_true "same corrupted help"
+        (Messages.help_equal ia.Server.helping ib.Server.helping))
+    a b
+
 let tests =
   [
+    case "corrupt is insertion-order independent"
+      test_corrupt_insertion_order_independent;
     case "write updates and acks (lines 19-20)" test_write_updates_and_acks;
     case "new_help silent (line 21)" test_new_help_silent;
     case "read resets helping (lines 22-23)" test_read_resets_helping_when_new;

@@ -27,6 +27,67 @@ let test_pp () =
   Alcotest.(check string) "bot" "\xe2\x8a\xa5" (Value.to_string Value.bot);
   Alcotest.(check string) "str" "\"hi\"" (Value.to_string (Value.str "hi"))
 
+(* The typed structural order that replaced Stdlib.compare (stablint R2):
+   total, antisymmetric, consistent with equal, Bot < Int < Str <
+   Stamped, and componentwise within a constructor. *)
+let test_compare_total_order () =
+  let e = Epoch.genesis ~k:2 in
+  let e' = Epoch.next_epoch ~k:2 [ e ] in
+  let samples =
+    [
+      Value.bot;
+      Value.int (-3);
+      Value.int 7;
+      Value.str "a";
+      Value.str "b";
+      Value.stamped ~data:(Value.int 7) ~epoch:e ~seq:0;
+      Value.stamped ~data:(Value.int 7) ~epoch:e ~seq:1;
+      Value.stamped ~data:(Value.int 7) ~epoch:e' ~seq:0;
+      Value.stamped
+        ~data:(Value.stamped ~data:Value.bot ~epoch:e ~seq:2)
+        ~epoch:e ~seq:0;
+    ]
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          let c = Value.compare v w in
+          check_int "antisymmetric" (-c) (Value.compare w v);
+          check_bool "consistent with equal" (Value.equal v w) (c = 0))
+        samples)
+    samples;
+  check_true "Bot < Int" (Value.compare Value.bot (Value.int 0) < 0);
+  check_true "Int < Str" (Value.compare (Value.int 999) (Value.str "") < 0);
+  check_true "Str < Stamped"
+    (Value.compare (Value.str "z")
+       (Value.stamped ~data:Value.bot ~epoch:e ~seq:0)
+     < 0);
+  check_true "ints by value" (Value.compare (Value.int 1) (Value.int 2) < 0);
+  check_true "seq breaks ties"
+    (Value.compare
+       (Value.stamped ~data:Value.bot ~epoch:e ~seq:0)
+       (Value.stamped ~data:Value.bot ~epoch:e ~seq:1)
+     < 0)
+
+let test_compare_sorts_deterministically () =
+  let e = Epoch.genesis ~k:2 in
+  let l =
+    [
+      Value.str "b";
+      Value.int 2;
+      Value.bot;
+      Value.stamped ~data:Value.bot ~epoch:e ~seq:0;
+      Value.int 1;
+      Value.str "a";
+    ]
+  in
+  let sorted = List.sort Value.compare l in
+  let resorted = List.sort Value.compare (List.rev l) in
+  check_true "sort is order-independent"
+    (List.for_all2 Value.equal sorted resorted);
+  check_true "bot first" (Value.equal (List.nth sorted 0) Value.bot)
+
 let test_arbitrary_not_stamped () =
   let rng = Sim.Rng.create 3 in
   for _ = 1 to 50 do
@@ -41,5 +102,7 @@ let tests =
     case "stamped equal" test_stamped_equal;
     case "nested stamped" test_nested_stamped;
     case "pretty printing" test_pp;
+    case "compare is a typed total order" test_compare_total_order;
+    case "compare sorts deterministically" test_compare_sorts_deterministically;
     case "arbitrary shape" test_arbitrary_not_stamped;
   ]

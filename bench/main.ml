@@ -195,7 +195,10 @@ let mc_throughput_rows () =
       s.Mc.Checker.peak_visited,
       dt,
       float_of_int s.Mc.Checker.states /. dt,
-      o.Mc.Checker.exhaustive )
+      o.Mc.Checker.exhaustive,
+      s.Mc.Checker.replays,
+      float_of_int s.Mc.Checker.replays /. float_of_int (max 1 s.Mc.Checker.states)
+    )
   in
   [
     measure "mc: regular n=3 t=0 (exhaustive)" mc_tiny_cfg;
@@ -209,6 +212,55 @@ let mc_throughput_rows () =
         read_budget = 8;
       };
   ]
+
+(* Portfolio scaling: the same exhaustive search fanned over K domains.
+   Slices explore under distinct deterministic orders, so aggregate
+   states/s should scale near-linearly while the K=1 row pins the
+   sequential baseline.  Wall-clock (not [Sys.time], which sums CPU
+   across domains) is the honest denominator here. *)
+let mc_parallel_rows () =
+  List.map
+    (fun domains ->
+      let c0 = Sys.time () in
+      let t0 = Unix.gettimeofday () in
+      let o = Mc.Checker.search_parallel ~domains mc_tiny_cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      let cpu = Sys.time () -. c0 in
+      let states = o.Mc.Checker.stats.Mc.Checker.states in
+      ( Printf.sprintf "mc-parallel: regular n=3 t=0, %d domain(s)" domains,
+        domains,
+        states,
+        dt,
+        cpu,
+        float_of_int states /. dt ))
+    [ 1; 2; 4 ]
+
+(* Campaign throughput: randomized trials per second through the full
+   deploy/schedule/check pipeline, fanned over 2 domains. *)
+let chaos_row () =
+  let cfg =
+    { (Chaos.Campaign.default_config ~family:Chaos.Campaign.Regular) with
+      Chaos.Campaign.writes = 20;
+      reads = 15;
+    }
+  in
+  let trials = 4 and domains = 2 in
+  let t0 = Unix.gettimeofday () in
+  let r = Chaos.Campaign.run ~domains cfg ~seed:99 ~trials in
+  let dt = Unix.gettimeofday () -. t0 in
+  let ops =
+    List.fold_left
+      (fun acc (t : Chaos.Campaign.trial) ->
+        acc + t.outcome.Chaos.Campaign.ops)
+      0 r.Chaos.Campaign.trials
+  in
+  ( Printf.sprintf "chaos: regular campaign, %d trials, %d domain(s)" trials
+      domains,
+    trials,
+    domains,
+    ops,
+    dt,
+    float_of_int trials /. dt )
 
 (* --- data link --- *)
 
@@ -284,19 +336,36 @@ let () =
       Printf.printf "%-52s %14.1f %12.0f\n" name ns (1e9 /. ns))
     rows;
   let mc_rows = mc_throughput_rows () in
-  Printf.printf "\n%-52s %10s %12s %12s\n" "model checker" "states"
-    "states/s" "peak visited";
-  Printf.printf "%s\n" (String.make 90 '-');
+  Printf.printf "\n%-52s %10s %12s %12s %10s\n" "model checker" "states"
+    "states/s" "peak visited" "replays/st";
+  Printf.printf "%s\n" (String.make 100 '-');
   List.iter
-    (fun (name, states, peak, _dt, sps, exhaustive) ->
-      Printf.printf "%-52s %10d %12.0f %12d%s\n" name states sps peak
+    (fun (name, states, peak, _dt, sps, exhaustive, _replays, rps) ->
+      Printf.printf "%-52s %10d %12.0f %12d %10.3f%s\n" name states sps peak
+        rps
         (if exhaustive then "" else "  (budget)"))
     mc_rows;
-  (* Machine-readable companion: same rows, stable schema. *)
+  let par_rows = mc_parallel_rows () in
+  Printf.printf "\n%-52s %10s %12s\n" "parallel portfolio" "states"
+    "states/s";
+  Printf.printf "%s\n" (String.make 80 '-');
+  List.iter
+    (fun (name, _domains, states, _dt, _cpu, sps) ->
+      Printf.printf "%-52s %10d %12.0f\n" name states sps)
+    par_rows;
+  let (chaos_name, chaos_trials, chaos_domains, chaos_ops, chaos_dt, tps) =
+    chaos_row ()
+  in
+  Printf.printf "\n%-52s %8.2f trials/s (%d ops in %.2fs)\n" chaos_name tps
+    chaos_ops chaos_dt;
+  (* Machine-readable companion: v2 keeps every v1 section (mc rows gain
+     replay columns additively) and adds the parallel-portfolio and
+     chaos-campaign sections.  Written to a new file so the committed
+     BENCH_1.json stays a fixed point of the single-threaded era. *)
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.Str "stabreg/bench/v1");
+        ("schema", Obs.Json.Str "stabreg/bench/v2");
         ( "rows",
           Obs.Json.List
             (List.map
@@ -311,12 +380,11 @@ let () =
                      ("ops_per_sec", num (1e9 /. ns));
                    ])
                rows) );
-        (* Additive to the v1 schema: explorer throughput, measured
-           one-shot rather than via OLS. *)
+        (* Explorer throughput, measured one-shot rather than via OLS. *)
         ( "mc",
           Obs.Json.List
             (List.map
-               (fun (name, states, peak, dt, sps, exhaustive) ->
+               (fun (name, states, peak, dt, sps, exhaustive, replays, rps) ->
                  Obs.Json.Obj
                    [
                      ("name", Obs.Json.Str name);
@@ -325,12 +393,38 @@ let () =
                      ("seconds", Obs.Json.Float dt);
                      ("states_per_sec", Obs.Json.Float sps);
                      ("exhaustive", Obs.Json.Bool exhaustive);
+                     ("replays", Obs.Json.Int replays);
+                     ("replays_per_state", Obs.Json.Float rps);
                    ])
                mc_rows) );
+        ( "mc_parallel",
+          Obs.Json.List
+            (List.map
+               (fun (name, domains, states, dt, cpu, sps) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str name);
+                     ("domains", Obs.Json.Int domains);
+                     ("states", Obs.Json.Int states);
+                     ("seconds", Obs.Json.Float dt);
+                     ("cpu_seconds", Obs.Json.Float cpu);
+                     ("states_per_sec", Obs.Json.Float sps);
+                   ])
+               par_rows) );
+        ( "chaos",
+          Obs.Json.Obj
+            [
+              ("name", Obs.Json.Str chaos_name);
+              ("trials", Obs.Json.Int chaos_trials);
+              ("domains", Obs.Json.Int chaos_domains);
+              ("ops", Obs.Json.Int chaos_ops);
+              ("seconds", Obs.Json.Float chaos_dt);
+              ("trials_per_sec", Obs.Json.Float tps);
+            ] );
       ]
   in
-  let oc = open_out "BENCH_1.json" in
+  let oc = open_out "BENCH_2.json" in
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nrows written to BENCH_1.json\n"
+  Printf.printf "\nrows written to BENCH_2.json\n"

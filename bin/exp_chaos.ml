@@ -31,7 +31,7 @@ let artifact_path ~out ~family ~index ~trial_seed =
        index trial_seed)
 
 (* Run one campaign; returns the violating trials' artifact paths. *)
-let run ~family ~medium ~byz ~strategy ~seed ~trials ~out =
+let run ~family ~medium ~byz ~strategy ~seed ~trials ~domains ~out =
   let base = Campaign.default_config ~family in
   let cfg =
     {
@@ -42,7 +42,7 @@ let run ~family ~medium ~byz ~strategy ~seed ~trials ~out =
   in
   Printf.printf
     "chaos campaign: family=%s medium=%s n=%d t=%d initial=[%s] trials=%d \
-     seed=%d\n\n"
+     seed=%d domains=%d\n\n"
     (Campaign.family_to_string family)
     (match medium with Campaign.Fifo -> "fifo" | Campaign.Lossy -> "lossy")
     cfg.Campaign.n cfg.Campaign.f
@@ -51,7 +51,7 @@ let run ~family ~medium ~byz ~strategy ~seed ~trials ~out =
           (fun (slot, s) ->
             Printf.sprintf "s%d:%s" slot (Strategy.to_string s))
           cfg.Campaign.initial))
-    trials seed;
+    trials seed domains;
   let on_scenario ~trial scn =
     if trial = 0 then begin
       Common.attach_trace_sink (Harness.Scenario.hub scn);
@@ -59,7 +59,7 @@ let run ~family ~medium ~byz ~strategy ~seed ~trials ~out =
     end
   in
   let result =
-    Campaign.run ~on_scenario ~log:print_endline cfg ~seed ~trials
+    Campaign.run ~on_scenario ~log:print_endline ~domains cfg ~seed ~trials
   in
   print_newline ();
   let artifacts =
@@ -90,6 +90,7 @@ let run ~family ~medium ~byz ~strategy ~seed ~trials ~out =
        [
          ("family", Obs.Json.Str (Campaign.family_to_string family));
          ("trials", Obs.Json.Int trials);
+         ("domains", Obs.Json.Int domains);
          ("violations", Obs.Json.Int (List.length violations));
          ( "verdicts",
            Obs.Json.List

@@ -265,8 +265,16 @@ let chaos_cmd =
     Arg.(
       value & opt (some expect_conv) None & info [ "expect" ] ~docv:"WHAT" ~doc)
   in
-  let chaos family trials byz strategy medium out replay expect seed json
-      trace =
+  let domains_arg =
+    let doc =
+      "Fan the campaign trials out over $(docv) OS-level domains.  Trials \
+       are deterministic in their derived seeds, so the result is \
+       identical for every value — only wall-clock changes."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+  in
+  let chaos family trials byz strategy medium out replay expect domains seed
+      json trace =
     Exp_drivers.Common.json_dir := json;
     Exp_drivers.Common.trace_out := trace;
     let status = ref (`Ok ()) in
@@ -281,7 +289,7 @@ let chaos_cmd =
       Exp_drivers.Common.with_report ~exp ~seed (fun () ->
           let violations =
             Exp_drivers.Exp_chaos.run ~family ~medium ~byz ~strategy ~seed
-              ~trials ~out
+              ~trials ~domains ~out
           in
           match (expect, violations) with
           | Some `Clean, _ :: _ ->
@@ -307,8 +315,8 @@ let chaos_cmd =
     Term.(
       ret
         (const chaos $ family_arg $ trials_arg $ byz_arg $ strategy_arg
-       $ medium_arg $ out_arg $ replay_arg $ expect_arg $ seed_arg $ json_arg
-       $ trace_out_arg))
+       $ medium_arg $ out_arg $ replay_arg $ expect_arg $ domains_arg
+       $ seed_arg $ json_arg $ trace_out_arg))
 
 let mc_cmd =
   let mc_family_conv =
@@ -539,6 +547,25 @@ let mc_cmd =
     Arg.(
       value & opt (some string) None & info [ "target" ] ~docv:"KIND" ~doc)
   in
+  let domains_arg =
+    let doc =
+      "Run a portfolio of $(docv) searches in parallel over OS-level \
+       domains: slice 0 is the plain sequential search, the others \
+       explore under shuffled orders derived from $(b,--order-seed), and \
+       the merge deterministically prefers the lowest slice index, so the \
+       reported verdict and counterexample are independent of thread \
+       scheduling."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+  in
+  let sequential_check_arg =
+    let doc =
+      "After the (parallel) search, re-search sequentially and fail \
+       unless both report the same verdict and the same trace \
+       (determinism check for the parallel portfolio)."
+    in
+    Arg.(value & flag & info [ "sequential-check" ] ~doc)
+  in
   let out_arg =
     let doc = "Directory for counterexample artifacts." in
     Arg.(value & opt string "results/mc" & info [ "out" ] ~docv:"DIR" ~doc)
@@ -564,7 +591,8 @@ let mc_cmd =
   in
   let mc family servers t byz strategy writes reads read_budget corrupt
       oracle depth max_states no_reduction no_visited order_seed target
-      cross_check expect out replay guide seed json trace =
+      cross_check domains sequential_check expect out replay guide seed json
+      trace =
     Exp_drivers.Common.json_dir := json;
     Exp_drivers.Common.trace_out := trace;
     let status = ref (`Ok ()) in
@@ -608,7 +636,7 @@ let mc_cmd =
             match
               Exp_drivers.Exp_mc.run ~cfg ~budgets ~reduction
                 ~use_visited:(not no_visited) ~seed:order_seed ~target
-                ~cross_check ~expect ~out
+                ~cross_check ~domains ~sequential_check ~expect ~out
             with
             | Ok () -> ()
             | Error e -> status := `Error (false, e))));
@@ -629,9 +657,9 @@ let mc_cmd =
         (const mc $ family_arg $ servers_arg $ t_arg $ byz_arg $ strategy_arg
        $ writes_arg $ reads_arg $ read_budget_arg $ corrupt_arg $ oracle_arg
        $ depth_arg $ max_states_arg $ no_reduction_arg $ no_visited_arg
-       $ order_seed_arg $ target_arg $ cross_check_arg $ expect_arg
-       $ out_arg $ replay_arg $ guide_arg $ seed_arg $ json_arg
-       $ trace_out_arg))
+       $ order_seed_arg $ target_arg $ cross_check_arg $ domains_arg
+       $ sequential_check_arg $ expect_arg $ out_arg $ replay_arg $ guide_arg
+       $ seed_arg $ json_arg $ trace_out_arg))
 
 let list_cmd =
   let list () =

@@ -712,9 +712,11 @@ let violations r =
 
 let trial_seed_for ~seed i = seed + (1_000_003 * i)
 
-let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) cfg ~seed
-    ~trials =
-  let one i =
+let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) ?(domains = 1)
+    cfg ~seed ~trials =
+  if domains < 1 then
+    invalid_arg "Chaos.Campaign.run: domains must be at least 1";
+  let one ~log i =
     let trial_seed = trial_seed_for ~seed i in
     let schedule = generate cfg ~seed:trial_seed in
     let on_scn = Option.map (fun f -> f ~trial:i) on_scenario in
@@ -758,4 +760,35 @@ let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) cfg ~seed
         shrink_runs = shrink_runs + 1;
       }
   in
-  { config = cfg; seed; trials = List.init trials one }
+  let trials_list =
+    if domains = 1 then List.init trials (one ~log)
+    else begin
+      (* Each trial is already independent and deterministic in its own
+         derived seed, so fanning trials across domains changes nothing
+         about their outcomes — only wall-clock.  Trial state (scenario,
+         engine, hub) is constructed inside the trial, so nothing is
+         shared between domains except the config and the callbacks.
+         [log] lines are buffered per trial and replayed in trial order
+         after the join, so the observable stream is identical to the
+         sequential one. *)
+      let outcomes =
+        Parallel.Pool.map ~domains
+          (fun i ->
+            let buf = Buffer.create 256 in
+            let log line =
+              Buffer.add_string buf line;
+              Buffer.add_char buf '\n'
+            in
+            let t = one ~log i in
+            (t, Buffer.contents buf))
+          (List.init trials Fun.id)
+      in
+      List.map
+        (fun (t, lines) ->
+          String.split_on_char '\n' lines
+          |> List.iter (fun l -> if l <> "" then log l);
+          t)
+        outcomes
+    end
+  in
+  { config = cfg; seed; trials = trials_list }

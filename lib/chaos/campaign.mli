@@ -141,6 +141,7 @@ val run :
   ?on_scenario:(trial:int -> Harness.Scenario.t -> unit) ->
   ?log:(string -> unit) ->
   ?shrink_violations:bool ->
+  ?domains:int ->
   config ->
   seed:int ->
   trials:int ->
@@ -149,4 +150,13 @@ val run :
     and shrink any violation into a repro ([shrink_violations] defaults to
     [true]).  [on_scenario] fires for the campaign trials (not for shrink
     re-executions).  [log] receives one progress line per trial and per
-    shrink pass. *)
+    shrink pass.
+
+    [domains] (default 1) fans the trials out over that many domains via
+    {!Parallel.Pool}.  Trials are independent and each is deterministic
+    in its own derived seed, so the result — trial order, outcomes,
+    repros — is identical for every [domains] value; only wall-clock
+    changes.  With [domains > 1], [log] lines are buffered per trial and
+    replayed in trial order after all trials complete, and [on_scenario]
+    runs on whichever domain executes the trial — trial 0 always runs on
+    the calling domain (where drivers attach their sinks). *)

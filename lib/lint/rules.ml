@@ -118,6 +118,11 @@ let r1 =
           Rule.finding ctx rule ~loc:e.pexp_loc
             "Sys.time reads process CPU time; derive time from the \
              simulation's virtual clock"
+        | Some [ "Domain"; ("spawn" | "join") ] ->
+          Rule.finding ctx rule ~loc:e.pexp_loc
+            "Domain.spawn introduces OS-level scheduling into a \
+             determinism-critical library; multicore is sanctioned only \
+             inside lib/parallel (fan out via Parallel.Pool.map)"
         | Some [ "Hashtbl"; "iter" ] ->
           Rule.finding ctx rule ~loc:e.pexp_loc
             "Hashtbl.iter visits bindings in table order, which is not \

@@ -222,11 +222,27 @@ type ctx = {
   (* Violations whose kind the caller is not hunting are recorded in the
      stats but do not stop the search. *)
   keep : verdict -> bool;
-  (* fingerprint -> sleep sets (as sorted move lists) it was explored
-     with.  Prune on revisit only if some stored sleep set is a subset of
-     the current one (Godefroid's subsumption condition: the prior visit
-     explored at least every move the current one would). *)
-  visited : (string, Sys.move list list) Hashtbl.t;
+  (* The visited table, two layers deep.
+
+     Keying: states are interned under a 64-bit structural key folded
+     from the first 8 bytes of the raw 16-byte canonical digest.  Int
+     keys hash in constant time (no walk over a 32-char hex string) and
+     halve the per-entry key memory; each bucket keeps the full raw
+     digests so a key collision is verified against the whole digest
+     before two states are ever merged.
+
+     Value: the residual sleep set (sorted, canonical coordinates) — the
+     enabled moves no visit has explored from this state yet.  The first
+     visit stores its arrival sleep (it explores everything else); a
+     revisit with sleep [s] only needs the residual minus [s] — every
+     other move was either explored by an earlier visit or is covered by
+     a sibling of the current path — and afterwards the residual shrinks
+     to its intersection with [s] (Godefroid's sleep sets combined with
+     state matching).  A revisit with an empty difference is pruned
+     outright, which subsumes the classic "some stored sleep is a subset
+     of ours" condition. *)
+  visited : (int, (string * Sys.move list) list) Hashtbl.t;
+  mutable visited_entries : int;
   stats : stats;
   mutable sys : Sys.t;
 }
@@ -243,23 +259,64 @@ let shuffle st l =
   done;
   Array.to_list a
 
-let subset small big =
-  List.for_all (fun m -> List.exists (Sys.move_equal m) big) small
+let fp_key raw = Int64.to_int (String.get_int64_le raw 0)
 
-let subsumed ctx fp sleep =
-  match Hashtbl.find_opt ctx.visited fp with
-  | None -> false
-  | Some stored -> List.exists (fun t -> subset t sleep) stored
+let fp_find ctx raw =
+  match Hashtbl.find_opt ctx.visited (fp_key raw) with
+  | None -> None
+  | Some bucket ->
+    List.find_map
+      (fun (r, residual) ->
+        if String.equal r raw then Some residual else None)
+      bucket
 
-let remember ctx fp sleep =
-  let stored =
-    match Hashtbl.find_opt ctx.visited fp with None -> [] | Some l -> l
+let fp_store ctx raw residual =
+  let key = fp_key raw in
+  let bucket =
+    match Hashtbl.find_opt ctx.visited key with None -> [] | Some b -> b
   in
-  (* Keep the set minimal: drop stored sets that the new one subsumes. *)
-  let stored = List.filter (fun t -> not (subset sleep t)) stored in
-  Hashtbl.replace ctx.visited fp (sleep :: stored);
-  if Hashtbl.length ctx.visited > ctx.stats.peak_visited then
-    ctx.stats.peak_visited <- Hashtbl.length ctx.visited
+  let fresh = not (List.exists (fun (r, _) -> String.equal r raw) bucket) in
+  let bucket =
+    if fresh then (raw, residual) :: bucket
+    else
+      List.map
+        (fun (r, v) -> if String.equal r raw then (r, residual) else (r, v))
+        bucket
+  in
+  Hashtbl.replace ctx.visited key bucket;
+  if fresh then begin
+    ctx.visited_entries <- ctx.visited_entries + 1;
+    if ctx.visited_entries > ctx.stats.peak_visited then
+      ctx.stats.peak_visited <- ctx.visited_entries
+  end
+
+(* The expansion plan for a state arrival: explore every non-slept move
+   (first visit), only the canonical moves listed (revisit with a
+   non-empty residual), or nothing (revisit already covered). *)
+type expansion = Expand_all | Expand_only of Sys.move list | Covered
+
+let plan_expansion ctx fp sleep_canon =
+  if not ctx.use_visited then Expand_all
+  else
+    match fp_find ctx fp with
+    | None ->
+      fp_store ctx fp sleep_canon;
+      Expand_all
+    | Some residual ->
+      ctx.stats.revisits <- ctx.stats.revisits + 1;
+      let need =
+        List.filter
+          (fun m -> not (List.exists (Sys.move_equal m) sleep_canon))
+          residual
+      in
+      if need = [] then Covered
+      else begin
+        fp_store ctx fp
+          (List.filter
+             (fun m -> List.exists (Sys.move_equal m) sleep_canon)
+             residual);
+        Expand_only need
+      end
 
 let replay_prefix ctx prefix_rev =
   ctx.stats.replays <- ctx.stats.replays + 1;
@@ -291,16 +348,15 @@ let rec explore ctx ~prefix_rev ~depth ~sleep =
        coordinates, via the renaming the fingerprint chose. *)
     let need_rep = ctx.reduction = Sleep_sets in
     let fp, ren, rep =
-      if ctx.use_visited || need_rep then Sys.fingerprint_ex ctx.sys
+      if ctx.use_visited || need_rep then Sys.fingerprint_raw_ex ctx.sys
       else ("", Fun.id, Fun.id)
     in
     let sleep_canon =
       sorted_moves (List.map (Sys.canonical_move ren) sleep)
     in
-    if ctx.use_visited && subsumed ctx fp sleep_canon then
-      ctx.stats.revisits <- ctx.stats.revisits + 1
-    else begin
-      if ctx.use_visited then remember ctx fp sleep_canon;
+    match plan_expansion ctx fp sleep_canon with
+    | Covered -> ()
+    | (Expand_all | Expand_only _) as plan ->
       (* Symmetric-move pruning: deliveries aimed at servers of the same
          automorphism class have isomorphic successors; keep one per
          class. *)
@@ -322,34 +378,67 @@ let rec explore ctx ~prefix_rev ~depth ~sleep =
             moves
         end
       in
+      (* On a partial re-expansion, moves outside the residual were
+         explored from this state by an earlier visit; they are exactly
+         as covered as a slept move, and they must sleep (not vanish) so
+         the children explored now inherit them through the independence
+         filter. *)
+      let moves, covered =
+        match plan with
+        | Expand_all | Covered -> (moves, [])
+        | Expand_only need ->
+          List.partition
+            (fun mv ->
+              List.exists
+                (Sys.move_equal (Sys.canonical_move ren mv))
+                need)
+            moves
+      in
+      ctx.stats.sleep_skips <- ctx.stats.sleep_skips + List.length covered;
       let moves =
         match ctx.rng with None -> moves | Some st -> shuffle st moves
       in
-      let sleep = ref sleep in
-      let live = ref true in
-      List.iter
-        (fun mv ->
-          if List.exists (Sys.move_equal mv) !sleep then
-            ctx.stats.sleep_skips <- ctx.stats.sleep_skips + 1
-          else begin
-            if not !live then replay_prefix ctx prefix_rev;
-            live := false;
-            ignore (Sys.apply ctx.sys mv);
-            ctx.stats.transitions <- ctx.stats.transitions + 1;
-            let child_sleep =
-              match ctx.reduction with
-              | Sleep_sets -> List.filter (Sys.independent mv) !sleep
-              | No_reduction -> []
-            in
-            explore ctx
-              ~prefix_rev:(mv :: prefix_rev)
-              ~depth:(depth + 1) ~sleep:child_sleep;
+      let sleep = ref (covered @ sleep) in
+      (* The children to explore are known up front: enabled moves are
+         distinct, so sibling exploration can never put a later
+         *candidate* to sleep (only child sleeps grow as siblings are
+         explored).  Knowing the list lets the node keep its own live
+         state for the LAST child instead of donating it to the first:
+         earlier children run on replicas rebuilt by replay while the
+         entry state waits untouched, and the final child consumes it
+         with no replay at all.  Each node still pays exactly
+         [children - 1] replays — what changes is that no replay is ever
+         issued against a state the node still needs, which is what lets
+         the replica for child [i] be built *before* child [i-1]'s
+         subtree has been torn through the live state. *)
+      let to_explore =
+        List.filter
+          (fun mv -> not (List.exists (Sys.move_equal mv) !sleep))
+          moves
+      in
+      ctx.stats.sleep_skips <-
+        ctx.stats.sleep_skips
+        + (List.length moves - List.length to_explore);
+      let last = List.length to_explore - 1 in
+      let entry = ctx.sys in
+      List.iteri
+        (fun i mv ->
+          if i < last then replay_prefix ctx prefix_rev
+          else ctx.sys <- entry;
+          ignore (Sys.apply ctx.sys mv);
+          ctx.stats.transitions <- ctx.stats.transitions + 1;
+          let child_sleep =
             match ctx.reduction with
-            | Sleep_sets -> sleep := mv :: !sleep
-            | No_reduction -> ()
-          end)
-        moves
-    end
+            | Sleep_sets -> List.filter (Sys.independent mv) !sleep
+            | No_reduction -> []
+          in
+          explore ctx
+            ~prefix_rev:(mv :: prefix_rev)
+            ~depth:(depth + 1) ~sleep:child_sleep;
+          match ctx.reduction with
+          | Sleep_sets -> sleep := mv :: !sleep
+          | No_reduction -> ())
+        to_explore
   end
 
 let search ?(budgets = default_budgets) ?(reduction = Sleep_sets)
@@ -369,6 +458,7 @@ let search ?(budgets = default_budgets) ?(reduction = Sleep_sets)
         | None -> fun _ -> true
         | Some kind -> fun v -> String.equal (verdict_kind v) kind);
       visited = Hashtbl.create 4096;
+      visited_entries = 0;
       stats = fresh_stats ();
       sys = Sys.create cfg;
     }
@@ -395,6 +485,88 @@ let search ?(budgets = default_budgets) ?(reduction = Sleep_sets)
       stats = ctx.stats;
       trace = None;
     }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel swarm                                                     *)
+
+(* Seed offset between portfolio slices; a large prime so slices drawn
+   from nearby user seeds never collide. *)
+let portfolio_stride = 1_000_003
+
+let merge_stats outcomes =
+  let agg = fresh_stats () in
+  List.iter
+    (fun (o : outcome) ->
+      let s = o.stats in
+      agg.states <- agg.states + s.states;
+      agg.transitions <- agg.transitions + s.transitions;
+      agg.terminals <- agg.terminals + s.terminals;
+      agg.revisits <- agg.revisits + s.revisits;
+      agg.sleep_skips <- agg.sleep_skips + s.sleep_skips;
+      agg.sym_skips <- agg.sym_skips + s.sym_skips;
+      agg.replays <- agg.replays + s.replays;
+      agg.off_target <- agg.off_target + s.off_target;
+      agg.peak_visited <- agg.peak_visited + s.peak_visited;
+      if s.max_depth_seen > agg.max_depth_seen then
+        agg.max_depth_seen <- s.max_depth_seen)
+    outcomes;
+  agg.truncated <-
+    List.for_all (fun (o : outcome) -> o.stats.truncated) outcomes;
+  agg
+
+let search_parallel ?budgets ?reduction ?use_visited ?seed ?target
+    ?(domains = 1) cfg =
+  if domains < 1 then
+    invalid_arg "Mc.Checker.search_parallel: domains must be >= 1";
+  if domains = 1 then search ?budgets ?reduction ?use_visited ?seed ?target cfg
+  else begin
+    (match Config.validate cfg with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Mc.Checker.search_parallel: " ^ e));
+    (* Slice 0 is the caller's exact sequential search (same seed, or
+       unseeded deterministic order); slices 1..K-1 are order-seed
+       portfolio members.  Every slice runs to completion — an early-stop
+       broadcast would make the merged result depend on which domain
+       happened to finish first — and the merge is a pure fold in slice
+       order, so the reported verdict, counterexample and aggregate stats
+       are a function of the inputs alone. *)
+    let slice_seed i =
+      if i = 0 then seed
+      else
+        Some
+          (match seed with
+          | None -> portfolio_stride * i
+          | Some s -> s + (portfolio_stride * i))
+    in
+    let outcomes =
+      Parallel.Pool.map ~domains
+        (fun i ->
+          search ?budgets ?reduction ?use_visited ?seed:(slice_seed i)
+            ?target cfg)
+        (List.init domains Fun.id)
+    in
+    let agg = merge_stats outcomes in
+    match
+      List.find_opt
+        (fun (o : outcome) ->
+          match o.verdict with Violation _ -> true | Clean -> false)
+        outcomes
+    with
+    | Some winner ->
+      (* Lowest slice index wins: if the sequential search (slice 0)
+         finds a violation, the swarm reports that identical trace. *)
+      { verdict = winner.verdict; exhaustive = false; stats = agg;
+        trace = winner.trace }
+    | None ->
+      {
+        verdict = Clean;
+        (* One slice covering the whole bounded space within budget is a
+           proof, regardless of what the others managed. *)
+        exhaustive = List.exists (fun (o : outcome) -> o.exhaustive) outcomes;
+        stats = agg;
+        trace = None;
+      }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic completion, shrinking                                *)
@@ -681,9 +853,12 @@ let package ~shrink_violations ~log cfg (outcome : outcome) =
     in
     { outcome = { outcome with verdict }; cex = Some cex; shrink_runs }
 
-let check ?budgets ?reduction ?use_visited ?seed ?target
+let check ?budgets ?reduction ?use_visited ?seed ?target ?domains
     ?(shrink_violations = true) ?(log = ignore) cfg =
-  let outcome = search ?budgets ?reduction ?use_visited ?seed ?target cfg in
+  let outcome =
+    search_parallel ?budgets ?reduction ?use_visited ?seed ?target ?domains
+      cfg
+  in
   package ~shrink_violations ~log cfg outcome
 
 let guided ?(shrink_violations = true) ?(log = ignore) cfg schedule =

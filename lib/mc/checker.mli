@@ -5,10 +5,14 @@
     The explorer enumerates every interleaving of pending deliveries and
     corruption-menu strikes up to the configured budgets, re-executing
     prefixes from scratch where a snapshot would be needed (OCaml fibers
-    cannot be cloned).  States are merged by {!Sys.fingerprint}; a
-    revisit is pruned only when some previously stored sleep set is a
-    subset of the current one (Godefroid's subsumption condition), which
-    keeps the combination of sleep sets and a visited set sound. *)
+    cannot be cloned).  States are merged by {!Sys.fingerprint}, interned
+    in the visited table under a 64-bit structural key with full-digest
+    collision verification.  Each visited state keeps the residual sleep
+    set — the enabled moves no visit has explored from it yet: a revisit
+    re-explores exactly that residual minus its own sleep set and nothing
+    else (Godefroid's sleep sets combined with state matching), which
+    both keeps the sleep-set/visited-set combination sound and avoids
+    re-expanding already-covered successors. *)
 
 type verdict =
   | Clean
@@ -47,7 +51,9 @@ type stats = {
   mutable states : int;  (** nodes expanded *)
   mutable transitions : int;
   mutable terminals : int;
-  mutable revisits : int;  (** pruned by the visited set *)
+  mutable revisits : int;
+      (** arrivals at an already-visited state (pruned outright or
+          partially re-expanded from the stored residual) *)
   mutable sleep_skips : int;  (** moves skipped by sleep sets *)
   mutable sym_skips : int;  (** moves skipped as symmetric to a sibling *)
   mutable replays : int;  (** prefix re-executions (no snapshots) *)
@@ -90,6 +96,32 @@ val search :
     ["inversion"]): terminals violating some other way are counted in
     [stats.off_target] and skipped.  An exhaustive [Clean] outcome under
     a target only certifies the absence of that kind. *)
+
+val search_parallel :
+  ?budgets:budgets ->
+  ?reduction:reduction ->
+  ?use_visited:bool ->
+  ?seed:int ->
+  ?target:string ->
+  ?domains:int ->
+  Config.t ->
+  outcome
+(** {!search} as a swarm of [domains] independent portfolio slices, one
+    per domain.  Slice 0 is exactly the sequential {!search} (same
+    [seed]); slices [1..K-1] shuffle their sibling order from derived
+    seeds, reaching different corners of the same reduced space first.
+    Determinism is absolute: every slice runs to completion (no
+    early-stop broadcast) and the merge is a fold in slice order — the
+    lowest-indexed violating slice supplies the reported verdict and
+    trace, so when the sequential search finds a violation the swarm
+    reports the bit-identical counterexample.  A merged [Clean] is
+    [exhaustive] iff some slice covered the bounded space within its
+    budgets.  [stats] are summed across slices ([max_depth_seen] is the
+    max; [peak_visited] sums the per-slice tables, i.e. aggregate
+    resident states).  With [domains:1] this is {!search} itself; with
+    more, wall-clock throughput scales with the domain count while the
+    result stays a pure function of the inputs.  Raises
+    [Invalid_argument] if [domains < 1] or the config is invalid. *)
 
 val shrink :
   ?log:(string -> unit) ->
@@ -145,13 +177,15 @@ val check :
   ?use_visited:bool ->
   ?seed:int ->
   ?target:string ->
+  ?domains:int ->
   ?shrink_violations:bool ->
   ?log:(string -> unit) ->
   Config.t ->
   run
-(** {!search}; on a violation, {!shrink} it (unless disabled) and package
-    the result as a replayable {!cex}.  The returned outcome's verdict is
-    the (possibly shrunk) final verdict. *)
+(** {!search_parallel} (sequential when [domains] is omitted or [1]); on
+    a violation, {!shrink} it (unless disabled) and package the result as
+    a replayable {!cex}.  The returned outcome's verdict is the (possibly
+    shrunk) final verdict. *)
 
 val guided :
   ?shrink_violations:bool ->

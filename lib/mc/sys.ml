@@ -491,7 +491,7 @@ let server_block t b srv =
    sorted by their serialized block — and returns the renaming so the
    checker can put sleep sets into the same coordinates (comparing sleep
    sets across symmetry-merged states is only sound canonically). *)
-let fingerprint_ex t =
+let fingerprint_raw_ex t =
   let servers = Byzantine.Adversary.servers t.adv in
   let n = Array.length servers in
   let named =
@@ -675,7 +675,11 @@ let fingerprint_ex t =
     t.fibers;
   Buffer.add_char b '\n';
   add_history b t;
-  (Digest.to_hex (Digest.string (Buffer.contents b)), ren, rep)
+  (Digest.string (Buffer.contents b), ren, rep)
+
+let fingerprint_ex t =
+  let d, ren, rep = fingerprint_raw_ex t in
+  (Digest.to_hex d, ren, rep)
 
 let fingerprint t =
   let d, _, _ = fingerprint_ex t in

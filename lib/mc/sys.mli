@@ -89,6 +89,12 @@ val fingerprint : t -> string
     isomorphic futures and identical verdicts.  Two states with equal
     fingerprints have indistinguishable futures and verdicts. *)
 
+val fingerprint_raw_ex : t -> string * (int -> int) * (int -> int)
+(** {!fingerprint_ex} with the digest kept in its raw 16-byte form (no
+    hex rendering).  This is the hot-path variant: the checker's visited
+    table interns raw digests under a folded 64-bit key, and hex only
+    ever appears in artifacts via {!fingerprint}. *)
+
 val fingerprint_ex : t -> string * (int -> int) * (int -> int)
 (** [(digest, ren, rep)]: {!fingerprint} plus the canonical server
     renaming it chose ([ren]: original slot -> canonical slot) and the

@@ -1,0 +1,53 @@
+(* Deterministic fan-out over OCaml 5 domains.
+
+   The contract that matters here is not speed but *reproducibility*:
+   callers (the MC swarm, chaos campaigns) must observe results that are
+   bit-identical no matter how the runtime schedules domains.  So the
+   layer is deliberately minimal: a fixed round-robin assignment of
+   items to workers decided before any domain starts, results written
+   to distinct slots of a preallocated array (plain writes to distinct
+   indices from different domains are race-free, and [Domain.join]
+   publishes them to the caller), and exceptions re-raised in item
+   order.  There is no work stealing and no early cancellation — both
+   would make the observable outcome depend on timing. *)
+
+let available_domains () =
+  max 1 (Domain.recommended_domain_count () - 1)
+
+exception Worker_failure of int * exn
+
+let map ~domains f items =
+  if domains < 1 then
+    invalid_arg "Parallel.Pool.map: domains must be >= 1";
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let k = min domains (max 1 n) in
+  if k = 1 then Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n None in
+    let run_shard shard =
+      let i = ref shard in
+      while !i < n do
+        (results.(!i) <-
+          (match f items.(!i) with
+          | v -> Some (Ok v)
+          | exception e -> Some (Error e)));
+        i := !i + k
+      done
+    in
+    (* Workers take shards 1..k-1; the caller's own domain runs shard 0,
+       so item 0 always executes on the calling domain (callers rely on
+       this: chaos campaigns attach observability sinks to trial 0,
+       which must not migrate to a worker domain). *)
+    let workers = List.init (k - 1) (fun w -> Domain.spawn (fun () -> run_shard (w + 1))) in
+    run_shard 0;
+    List.iter Domain.join workers;
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise (Worker_failure (i, e))
+           | None -> assert false)
+         results)
+  end

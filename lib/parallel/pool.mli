@@ -1,0 +1,28 @@
+(** Deterministic fan-out over OCaml 5 domains.
+
+    The one guarantee everything else in this repo leans on: the value
+    [map ~domains f items] returns — including which exception it
+    raises, if any — is a function of [f] and [items] alone, never of
+    how the runtime schedules domains.  Work is assigned round-robin
+    before any domain starts, results land in distinct slots, and
+    failures are reported in item order.  [f] must itself be
+    self-contained: it runs concurrently with the other items and must
+    not touch shared mutable state. *)
+
+val available_domains : unit -> int
+(** Domains worth spawning beside the caller's:
+    [recommended_domain_count () - 1], floored at 1. *)
+
+exception Worker_failure of int * exn
+(** [Worker_failure (i, e)]: applying [f] to item [i] raised [e].  When
+    several items fail, the lowest index wins — deterministically —
+    regardless of which domain crashed first in wall-clock time. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f items] is [List.map f items] computed on up to
+    [domains] domains ([domains - 1] spawned workers plus the calling
+    domain).  Item order is preserved.  Item [0] always runs on the
+    calling domain, so callers may give it caller-local side effects
+    (e.g. attaching an observability sink).  With [domains = 1] (or a
+    single item) no domain is spawned at all and the call is exactly
+    [List.map].  Raises [Invalid_argument] if [domains < 1]. *)

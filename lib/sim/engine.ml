@@ -54,16 +54,22 @@ let run ?until ?(max_events = max_int) t =
   let fired = ref 0 in
   let continue = ref true in
   while !continue && !fired < max_events do
-    match Heap.peek t.queue with
+    match Heap.pop t.queue with
     | None -> continue := false
     | Some ev ->
       let past_deadline =
         match until with Some u -> Vtime.( < ) u ev.time | None -> false
       in
-      if past_deadline then continue := false
+      if past_deadline then begin
+        (* Not consumed: push it back.  The heap orders by (time, seq)
+           and the event keeps its original seq, so the order observed
+           by a later run/step is exactly as if it had never moved. *)
+        Heap.push t.queue ev;
+        continue := false
+      end
       else begin
         incr fired;
-        ignore (step t)
+        fire_event t ev
       end
   done;
   match until with

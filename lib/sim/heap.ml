@@ -50,6 +50,15 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* A removal shrinks [size] but leaves the old tail slot holding a live
+   pointer the heap no longer owns, pinning that element for the GC until
+   the slot happens to be overwritten.  The heap is polymorphic, so there
+   is no dummy value to park there; instead duplicate a reference the
+   heap legitimately holds anyway (the root), or drop the whole array
+   once empty. *)
+let release_tail_slot t =
+  if t.size = 0 then t.data <- [||] else t.data.(t.size) <- t.data.(0)
+
 let pop t =
   if t.size = 0 then None
   else begin
@@ -59,6 +68,7 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    release_tail_slot t;
     Some min
   end
 
@@ -81,10 +91,13 @@ let take t pred =
       sift_down t idx;
       sift_up t idx
     end;
+    release_tail_slot t;
     Some x
   end
 
-let clear t = t.size <- 0
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
 
 let iter_unordered t f =
   for i = 0 to t.size - 1 do

@@ -18,3 +18,5 @@ let visit t f = Hashtbl.iter f t
 let seeded = Random.State.make [| 7 |]
 
 let reseeded () = Random.State.make_self_init ()
+
+let fan_out f xs = List.map Domain.join (List.map (fun x -> Domain.spawn (fun () -> f x)) xs)

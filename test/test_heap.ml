@@ -95,6 +95,56 @@ let prop_same_instant_fifo =
               Sim.Heap.pop h = Some x))
         ops)
 
+(* [take] removes an arbitrary (predicate-selected) element and patches
+   the hole by relocating the tail slot, sifting both ways.  Model it
+   against a multiset: interleave pushes with takes of random pivots and
+   require (a) take returns a matching element iff one is pending,
+   (b) the survivors drain in sorted order, (c) drained + removed is the
+   original multiset — i.e. no element is lost or duplicated by the slot
+   relocation / stale-tail release. *)
+let prop_take_invariant =
+  QCheck.Test.make ~name:"take preserves the heap invariant and multiset"
+    ~count:300
+    QCheck.(list (pair bool (int_bound 7)))
+    (fun ops ->
+      let h = mk () in
+      let pushed = ref [] and removed = ref [] in
+      List.iter
+        (fun (is_take, x) ->
+          if not is_take then begin
+            Sim.Heap.push h x;
+            pushed := x :: !pushed
+          end
+          else
+            (* multiset of elements still in the heap *)
+            let live =
+              List.fold_left
+                (fun acc y ->
+                  let rec drop_one = function
+                    | [] -> []
+                    | z :: tl -> if z = y then tl else z :: drop_one tl
+                  in
+                  drop_one acc)
+                !pushed !removed
+            in
+            match Sim.Heap.take h (fun y -> y >= x) with
+            | Some y ->
+              if y < x then failwith "take returned a non-matching element";
+              removed := y :: !removed
+            | None ->
+              if List.exists (fun y -> y >= x) live then
+                failwith "take missed a pending match")
+        ops;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      let drained = drain [] in
+      let sorted = List.sort Int.compare in
+      drained = sorted drained
+      && sorted (drained @ !removed) = sorted !pushed)
+
 let tests =
   [
     case "empty heap" test_empty;
@@ -105,4 +155,5 @@ let tests =
     case "iter_unordered" test_iter_unordered;
     qcheck prop_heap_sort;
     qcheck prop_same_instant_fifo;
+    qcheck prop_take_invariant;
   ]

@@ -22,7 +22,10 @@ let test_r1_fixture () =
       "tree/lib/sim/r1_bad.ml"
   in
   finding_list "R1 sites"
-    [ ("R1", 4); ("R1", 6); ("R1", 8); ("R1", 10); ("R1", 16); ("R1", 20) ]
+    [
+      ("R1", 4); ("R1", 6); ("R1", 8); ("R1", 10); ("R1", 16); ("R1", 20);
+      ("R1", 22); ("R1", 22);
+    ]
     (rule_lines r);
   check_int "nothing suppressed" 0 r.Lint.Driver.suppressed
 
@@ -86,7 +89,7 @@ let test_tree_scan () =
          (fun (f : Lint.Finding.t) -> String.equal f.Lint.Finding.rule id)
          s.Lint.Driver.findings)
   in
-  check_int "R1" 6 (by_rule "R1");
+  check_int "R1" 8 (by_rule "R1");
   check_int "R2" 5 (by_rule "R2");
   check_int "R3" 2 (by_rule "R3");
   check_int "R4" 5 (by_rule "R4");

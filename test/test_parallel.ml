@@ -1,0 +1,204 @@
+open Util
+
+(* --- Parallel.Pool ---------------------------------------------------- *)
+
+let test_map_order () =
+  let xs = List.init 23 Fun.id in
+  let squares = Parallel.Pool.map ~domains:4 (fun x -> x * x) xs in
+  check_true "order and values preserved"
+    (squares = List.map (fun x -> x * x) xs)
+
+let test_map_single_domain () =
+  let xs = [ 3; 1; 4; 1; 5 ] in
+  check_true "domains=1 is plain map"
+    (Parallel.Pool.map ~domains:1 string_of_int xs
+    = List.map string_of_int xs)
+
+let test_map_empty () =
+  check_true "empty input" (Parallel.Pool.map ~domains:4 Fun.id [] = [])
+
+let test_map_more_domains_than_items () =
+  check_true "domains > items"
+    (Parallel.Pool.map ~domains:8 succ [ 1; 2 ] = [ 2; 3 ])
+
+let test_map_invalid_domains () =
+  match Parallel.Pool.map ~domains:0 Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "domains=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_failure_lowest_index () =
+  (* Items 3 and 7 both raise; the reported failure must be item 3 —
+     the lowest index — regardless of which domain hit its error
+     first. *)
+  match
+    Parallel.Pool.map ~domains:4
+      (fun x -> if x = 3 || x = 7 then failwith "boom" else x)
+      (List.init 10 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Worker_failure"
+  | exception Parallel.Pool.Worker_failure (i, Failure _) ->
+    check_int "lowest failing index" 3 i
+  | exception e -> raise e
+
+let test_item_zero_on_caller_domain () =
+  let self = Domain.self () in
+  let homes =
+    Parallel.Pool.map ~domains:4 (fun _ -> Domain.self ()) [ 0; 1; 2; 3 ]
+  in
+  check_true "item 0 runs on the calling domain"
+    (match homes with d :: _ -> d = self | [] -> false)
+
+(* --- search_parallel ≡ search ---------------------------------------- *)
+
+let mc_cfg ?(n = 3) ?(f = 0) ?(byz = []) ?(writes = 1) ?(reads = 1)
+    ?(read_budget = 2) () =
+  {
+    Mc.Config.family = Mc.Config.Regular;
+    n;
+    f;
+    byz;
+    writes;
+    reads;
+    read_budget;
+    menu = [];
+    oracle = Mc.Config.Family_default;
+  }
+
+let trace_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    List.length a = List.length b && List.for_all2 Mc.Sys.move_equal a b
+  | _ -> false
+
+(* The portfolio's slice 0 is the exact sequential search and the merge
+   prefers the lowest slice index, so for every config — clean or
+   violating — the parallel verdict, exhaustiveness and trace must be
+   bit-identical to the sequential ones.  The grid covers a clean
+   exhaustive config, a symmetric 2-server one, an atomic-oracle one,
+   and a budget-truncated Byzantine config whose sequential search finds
+   a violation. *)
+let test_parallel_agrees_with_sequential () =
+  let grid =
+    [
+      ("reg-n2", mc_cfg ~n:2 (), None);
+      ("reg-n3", mc_cfg (), None);
+      ( "atomic-n3",
+        { (mc_cfg ()) with Mc.Config.family = Mc.Config.Atomic },
+        None );
+      ( "reg-n9-2silent",
+        mc_cfg ~n:9 ~f:1
+          ~byz:[ (0, Mc.Config.Silent); (1, Mc.Config.Silent) ]
+          ~read_budget:8 (),
+        Some { Mc.Checker.max_states = 20_000; max_depth = 10_000 } );
+    ]
+  in
+  List.iter
+    (fun (name, cfg, budgets) ->
+      let s = Mc.Checker.search ?budgets cfg in
+      let p = Mc.Checker.search_parallel ?budgets ~domains:4 cfg in
+      check_true (name ^ ": verdicts equal")
+        (Mc.Checker.verdict_equal s.Mc.Checker.verdict p.Mc.Checker.verdict);
+      check_true (name ^ ": traces equal")
+        (trace_equal s.Mc.Checker.trace p.Mc.Checker.trace);
+      if s.Mc.Checker.exhaustive then
+        check_true (name ^ ": exhaustive preserved") p.Mc.Checker.exhaustive;
+      (* aggregate stats must account for every slice: at least the
+         sequential slice's states, and every replay summed *)
+      check_true (name ^ ": stats aggregated")
+        (p.Mc.Checker.stats.Mc.Checker.states
+         >= s.Mc.Checker.stats.Mc.Checker.states))
+    grid
+
+let test_parallel_reproducible () =
+  let cfg = mc_cfg () in
+  let p1 = Mc.Checker.search_parallel ~domains:4 cfg in
+  let p2 = Mc.Checker.search_parallel ~domains:4 cfg in
+  check_int "states reproducible" p1.Mc.Checker.stats.Mc.Checker.states
+    p2.Mc.Checker.stats.Mc.Checker.states;
+  check_true "verdict reproducible"
+    (Mc.Checker.verdict_equal p1.Mc.Checker.verdict p2.Mc.Checker.verdict)
+
+(* On a violating config, the counterexample the whole [check] pipeline
+   ships (shrunk, digest-stamped) must not depend on the domain count:
+   the committed examples/mc artifacts stay replayable under any
+   --domains value. *)
+let test_check_digest_independent_of_domains () =
+  let cfg =
+    mc_cfg ~n:9 ~f:1
+      ~byz:[ (0, Mc.Config.Silent); (1, Mc.Config.Silent) ]
+      ~read_budget:8 ()
+  in
+  let budgets = { Mc.Checker.max_states = 20_000; max_depth = 10_000 } in
+  let r1 = Mc.Checker.check ~budgets cfg in
+  let r2 = Mc.Checker.check ~budgets ~domains:2 cfg in
+  match (r1.Mc.Checker.cex, r2.Mc.Checker.cex) with
+  | Some a, Some b ->
+    check_true "digests equal"
+      (String.equal a.Mc.Checker.digest b.Mc.Checker.digest);
+    check_true "traces equal"
+      (List.length a.Mc.Checker.trace = List.length b.Mc.Checker.trace
+      && List.for_all2 Mc.Sys.move_equal a.Mc.Checker.trace
+           b.Mc.Checker.trace)
+  | _ -> Alcotest.fail "expected a counterexample from both runs"
+
+(* --- chaos campaign fan-out ------------------------------------------ *)
+
+let test_campaign_domains_deterministic () =
+  let cfg =
+    {
+      (Chaos.Campaign.default_config ~family:Chaos.Campaign.Regular) with
+      Chaos.Campaign.writes = 10;
+      reads = 8;
+      initial = List.init 3 (fun i -> (i, Chaos.Strategy.Collude));
+    }
+  in
+  let logs_seq = Buffer.create 128 and logs_par = Buffer.create 128 in
+  let r1 =
+    Chaos.Campaign.run
+      ~log:(fun l -> Buffer.add_string logs_seq (l ^ "\n"))
+      cfg ~seed:11 ~trials:3
+  in
+  let r2 =
+    Chaos.Campaign.run
+      ~log:(fun l -> Buffer.add_string logs_par (l ^ "\n"))
+      ~domains:3 cfg ~seed:11 ~trials:3
+  in
+  let verdicts r =
+    List.map
+      (fun (t : Chaos.Campaign.trial) ->
+        Chaos.Campaign.verdict_kind t.outcome.Chaos.Campaign.verdict)
+      r.Chaos.Campaign.trials
+  in
+  check_true "verdicts identical" (verdicts r1 = verdicts r2);
+  check_true "log stream identical"
+    (String.equal (Buffer.contents logs_seq) (Buffer.contents logs_par));
+  check_true "repro artifacts identical"
+    (List.for_all2
+       (fun (a : Chaos.Campaign.trial) (b : Chaos.Campaign.trial) ->
+         match (a.repro, b.repro) with
+         | None, None -> true
+         | Some ra, Some rb ->
+           String.equal
+             (Obs.Json.to_string (Chaos.Campaign.repro_to_json ra))
+             (Obs.Json.to_string (Chaos.Campaign.repro_to_json rb))
+         | _ -> false)
+       r1.Chaos.Campaign.trials r2.Chaos.Campaign.trials)
+
+let tests =
+  [
+    case "pool: map preserves order" test_map_order;
+    case "pool: domains=1 is plain map" test_map_single_domain;
+    case "pool: empty input" test_map_empty;
+    case "pool: more domains than items" test_map_more_domains_than_items;
+    case "pool: domains=0 rejected" test_map_invalid_domains;
+    case "pool: failure reports lowest index" test_failure_lowest_index;
+    case "pool: item 0 on caller domain" test_item_zero_on_caller_domain;
+    case "mc: parallel ≡ sequential on config grid"
+      test_parallel_agrees_with_sequential;
+    case "mc: parallel search reproducible" test_parallel_reproducible;
+    case "mc: cex digest independent of domains"
+      test_check_digest_independent_of_domains;
+    case "chaos: campaign fan-out deterministic"
+      test_campaign_domains_deterministic;
+  ]

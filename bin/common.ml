@@ -19,6 +19,10 @@ let observed = ref false
 
 let trace_channel : out_channel option ref = ref None
 
+(* Header metadata for the stabreg/trace/v1 artifact; set by [with_report]
+   before any sink opens the file. *)
+let trace_meta : (string * int) ref = ref ("unknown", 0)
+
 let attach_trace_sink hub =
   match !trace_out with
   | None -> ()
@@ -30,6 +34,10 @@ let attach_trace_sink hub =
         let parent = Filename.dirname path in
         if parent <> "" && parent <> "." then Obs.Report.mkdir_p parent;
         let oc = open_out path in
+        let experiment, seed = !trace_meta in
+        output_string oc
+          (Obs.Json.to_string (Obs.Tracefile.header ~experiment ~seed));
+        output_char oc '\n';
         trace_channel := Some oc;
         oc
     in
@@ -90,6 +98,7 @@ let with_report ~exp ~seed f =
   let r = Obs.Report.create ~experiment:exp ~seed in
   current_report := Some r;
   observed := false;
+  if !trace_channel = None then trace_meta := (exp, seed);
   Fun.protect
     ~finally:(fun () -> current_report := None)
     (fun () ->
@@ -99,6 +108,17 @@ let with_report ~exp ~seed f =
         let path = Obs.Report.write ~dir r in
         Printf.printf "\n[%s] report written to %s\n" exp path
       | None -> ())
+
+(* Write a flight-recorder profile to an explicit file path (unlike
+   [Obs.Profile.write], which derives the name). *)
+let write_profile path r =
+  let parent = Filename.dirname path in
+  if parent <> "" && parent <> "." then Obs.Report.mkdir_p parent;
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string_pretty (Obs.Profile.to_json r));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "profile written to %s (%s)\n" path Obs.Profile.schema_version
 
 let scenario ?(seed = 1) ?delay ?medium ~params () =
   let scn = Harness.Scenario.create ~seed ?delay ?medium ~params () in

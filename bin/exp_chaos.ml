@@ -31,7 +31,8 @@ let artifact_path ~out ~family ~index ~trial_seed =
        index trial_seed)
 
 (* Run one campaign; returns the violating trials' artifact paths. *)
-let run ~family ~medium ~byz ~strategy ~seed ~trials ~domains ~out =
+let run ~family ~medium ~byz ~strategy ~seed ~trials ~domains ~out ?recorder
+    () =
   let base = Campaign.default_config ~family in
   let cfg =
     {
@@ -59,7 +60,8 @@ let run ~family ~medium ~byz ~strategy ~seed ~trials ~domains ~out =
     end
   in
   let result =
-    Campaign.run ~on_scenario ~log:print_endline ~domains cfg ~seed ~trials
+    Campaign.run ~on_scenario ~log:print_endline ?recorder ~domains cfg ~seed
+      ~trials
   in
   print_newline ();
   let artifacts =

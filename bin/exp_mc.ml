@@ -35,6 +35,7 @@ let stats_to_json (s : Checker.stats) =
       ("sym_skips", Obs.Json.Int s.sym_skips);
       ("replays", Obs.Json.Int s.replays);
       ("off_target", Obs.Json.Int s.off_target);
+      ("fp_collisions", Obs.Json.Int s.fp_collisions);
       ("peak_visited", Obs.Json.Int s.peak_visited);
       ("max_depth_seen", Obs.Json.Int s.max_depth_seen);
       ("truncated", Obs.Json.Bool s.truncated);
@@ -43,9 +44,10 @@ let stats_to_json (s : Checker.stats) =
 let pp_stats (s : Checker.stats) =
   Printf.printf
     "  states=%d transitions=%d terminals=%d revisits=%d sleep_skips=%d \
-     sym_skips=%d replays=%d off_target=%d peak_visited=%d max_depth=%d%s\n"
+     sym_skips=%d replays=%d off_target=%d fp_collisions=%d \
+     peak_visited=%d max_depth=%d%s\n"
     s.states s.transitions s.terminals s.revisits s.sleep_skips s.sym_skips
-    s.replays s.off_target s.peak_visited s.max_depth_seen
+    s.replays s.off_target s.fp_collisions s.peak_visited s.max_depth_seen
     (if s.truncated then " TRUNCATED" else "")
 
 let describe_outcome tag (o : Checker.outcome) =
@@ -77,7 +79,7 @@ let emit_cex ~out cfg (result : Checker.run) =
 (* Run one search (plus the optional no-reduction cross-check); returns
    [Ok ()] or a CI-facing error. *)
 let run ~cfg ~budgets ~reduction ~use_visited ~seed ~target ~cross_check
-    ~domains ~sequential_check ~expect ~out =
+    ~domains ~sequential_check ~expect ~out ?recorder () =
   Printf.printf
     "mc: family=%s n=%d t=%d byz=%d writes=%d reads=%d menu=%d oracle=%s \
      reduction=%s max_states=%d max_depth=%d domains=%d%s%s\n\n"
@@ -97,8 +99,8 @@ let run ~cfg ~budgets ~reduction ~use_visited ~seed ~target ~cross_check
     | Some t -> Printf.sprintf " target=%s" t);
   let t0 = Stdlib.Sys.time () in
   let result =
-    Checker.check ~budgets ~reduction ~use_visited ?seed ?target ~domains
-      ~log:print_endline cfg
+    Checker.check ~budgets ~reduction ~use_visited ?seed ?target ?recorder
+      ~domains ~log:print_endline cfg
   in
   let dt = Stdlib.Sys.time () -. t0 in
   describe_outcome "search" result.outcome;

@@ -91,77 +91,258 @@ let validate_cmd =
     close_in ic;
     s
   in
+  (* Dispatch on the artifact's own schema tag: whole-file JSON documents
+     carry a "schema" (or "traceEvents") field, trace files are JSONL
+     whose header line names stabreg/trace/v1. *)
+  let validate_one path =
+    let contents = read_file path in
+    match Obs.Json.parse contents with
+    | Error _ ->
+      (* Not a single JSON document: try the JSONL trace schema. *)
+      Result.map
+        (fun () -> Obs.Tracefile.schema_version)
+        (Obs.Tracefile.validate contents)
+    | Ok j -> (
+      match Obs.Json.member "schema" j with
+      | Some s when Obs.Json.to_string_opt s = Some Obs.Report.schema_version
+        ->
+        Result.map (fun () -> Obs.Report.schema_version) (Obs.Report.validate j)
+      | Some s
+        when Obs.Json.to_string_opt s = Some Obs.Profile.schema_version ->
+        Result.map
+          (fun () -> Obs.Profile.schema_version)
+          (Obs.Profile.validate j)
+      | Some s
+        when Obs.Json.to_string_opt s = Some Obs.Tracefile.schema_version ->
+        (* A one-line trace (header only) parses as a single document. *)
+        Result.map
+          (fun () -> Obs.Tracefile.schema_version)
+          (Obs.Tracefile.validate contents)
+      | Some s when Obs.Json.to_string_opt s = Some Mc.Checker.cex_schema ->
+        Result.map
+          (fun (_ : Mc.Checker.cex) -> Mc.Checker.cex_schema)
+          (Mc.Checker.cex_of_json j)
+      | Some s
+        when Obs.Json.to_string_opt s = Some Chaos.Campaign.repro_schema ->
+        Result.map
+          (fun (_ : Chaos.Campaign.repro) -> Chaos.Campaign.repro_schema)
+          (Chaos.Campaign.repro_of_json j)
+      | Some s ->
+        Error
+          (Printf.sprintf "unknown schema %s"
+             (match Obs.Json.to_string_opt s with
+             | Some str -> Printf.sprintf "%S" str
+             | None -> "(not a string)"))
+      | None -> (
+        match Obs.Json.member "traceEvents" j with
+        | Some _ ->
+          Result.map (fun () -> "chrome-trace") (Obs.Chrome_trace.validate j)
+        | None -> Error "no schema field and no traceEvents"))
+  in
   let validate files =
     let problems =
       List.filter_map
         (fun path ->
-          match Obs.Json.parse (read_file path) with
-          | Error e -> Some (Printf.sprintf "%s: parse error: %s" path e)
-          | Ok j -> (
-            match Obs.Report.validate j with
-            | Ok () -> None
-            | Error e -> Some (Printf.sprintf "%s: %s" path e)))
+          match validate_one path with
+          | Ok schema ->
+            Printf.printf "%s: valid (%s)\n" path schema;
+            None
+          | Error e -> Some (Printf.sprintf "%s: %s" path e))
         files
     in
     match problems with
     | [] ->
-      Printf.printf "%d report(s) valid (%s)\n" (List.length files)
-        Obs.Report.schema_version;
+      Printf.printf "%d artifact(s) valid\n" (List.length files);
       `Ok ()
     | _ :: _ -> `Error (false, String.concat "\n" problems)
   in
   let files_arg =
-    let doc = "Run-report JSON files to check against the schema." in
+    let doc =
+      "Artifact files to check: run reports, JSONL traces, mc profiles, \
+       Chrome-trace exports, mc counterexamples or chaos repros — the \
+       schema is sniffed from the file itself."
+    in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Validate run-report files against the versioned schema.")
+       ~doc:
+         "Validate artifacts (run reports, traces, profiles, Chrome \
+          exports, counterexamples, repros) against their versioned \
+          schemas.")
     Term.(ret (const validate $ files_arg))
 
 let trace_cmd =
-  (* A small annotated run with full event recording: lets adopters see
-     the message flow of one write+read. *)
-  let trace seed =
+  (* A regular-register workload crossed by a transient-corruption burst,
+     with full causal tracing: pick one interesting read (the first one
+     issued after the burst, falling back to the slowest), reconstruct its
+     causal tree from the span graph, and print a per-phase latency
+     breakdown.  Optional exports: the whole run as a stabreg/trace/v1
+     JSONL file and/or a Perfetto-loadable Chrome trace_event JSON. *)
+  let out_arg =
+    let doc = "Write the run's full event stream to $(docv) as a \
+               stabreg/trace/v1 JSONL file." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let chrome_arg =
+    let doc =
+      "Export the run as Chrome trace_event JSON to $(docv) (open in \
+       Perfetto or chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let write_file path s =
+    let parent = Filename.dirname path in
+    if parent <> "" && parent <> "." then Obs.Report.mkdir_p parent;
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  let trace seed out chrome =
+    let fault_at = 300 in
     let params =
       Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async
     in
-    let scn = Harness.Scenario.create ~seed ~record_events:true ~params () in
-    Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 3
-      Byzantine.Behavior.garbage;
-    let w =
-      Registers.Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:1
-        ~inst:0 ()
-    in
-    let r =
-      Registers.Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:2
-        ~inst:0 ()
-    in
-    let got = ref None in
+    let scn = Harness.Scenario.create ~seed ~params () in
+    let mem, recorded = Obs.Sink.memory () in
+    Obs.Hub.attach (Harness.Scenario.hub scn) mem;
+    let net = scn.Harness.Scenario.net in
+    let w = Registers.Swsr_regular.writer ~net ~client_id:100 ~inst:0 in
+    let r = Registers.Swsr_regular.reader ~net ~client_id:101 ~inst:0 in
+    Harness.Scenario.register_port scn
+      (Registers.Swsr_regular.writer_port w);
+    Harness.Scenario.register_port scn
+      (Registers.Swsr_regular.reader_port r);
+    (* The transient-corruption window: every registered server target
+       (cells, helping state) is scrambled mid-workload. *)
+    Sim.Fault.schedule scn.Harness.Scenario.fault
+      ~engine:scn.Harness.Scenario.engine
+      ~at:(Sim.Vtime.of_int fault_at) ~prefix:"server.";
     Exp_drivers.Common.run_jobs scn
       [
-        ( "wr",
+        ( "writer",
           fun () ->
-            Registers.Swsr_atomic.write w (Registers.Value.str "traced");
-            got := Registers.Swsr_atomic.read r );
+            Harness.Workload.writer_job scn
+              ~write:(Registers.Swsr_regular.write w)
+              ~count:20 ~gap:(Harness.Workload.gap 5 25) () );
+        ( "reader",
+          fun () ->
+            Harness.Workload.reader_job scn
+              ~read:(fun () -> Registers.Swsr_regular.read r)
+              ~count:20 ~gap:(Harness.Workload.gap 5 25) () );
       ];
+    let events = recorded () in
     Printf.printf
-      "one prac_at_write + one prac_at_read, n=9, t=1, server 3 Byzantine\n";
-    Printf.printf "read returned: %s\n\n" (Exp_drivers.Common.value_str !got);
+      "swsr_regular workload, n=9 t=1, transient server corruption at \
+       t=%d\n"
+      fault_at;
     Harness.Report.kv
       [
-        ("virtual time", string_of_int (Sim.Vtime.to_int (Harness.Scenario.now scn)));
-        ("messages delivered", string_of_int (Harness.Scenario.messages_sent scn));
-        ("ss-broadcasts", string_of_int (Harness.Scenario.broadcasts scn));
+        ( "virtual time",
+          string_of_int (Sim.Vtime.to_int (Harness.Scenario.now scn)) );
+        ("events", string_of_int (List.length events));
+        ( "spans",
+          string_of_int
+            (Obs.Trace_ctx.allocated
+               (Sim.Engine.spans scn.Harness.Scenario.engine)) );
+        ( "messages delivered",
+          string_of_int (Harness.Scenario.messages_sent scn) );
       ];
     print_newline ();
-    List.iter
-      (fun e -> Format.printf "%a@." Sim.Trace.pp_event e)
-      (Sim.Trace.events (Sim.Engine.trace scn.Harness.Scenario.engine))
+    (* One row per completed read: (invoke, return, span). *)
+    let reads =
+      List.filter_map
+        (fun e ->
+          match e with
+          | Obs.Event.Op_invoke { time; id; op = `Read; span; _ } ->
+            let ret =
+              List.find_map
+                (fun e' ->
+                  match e' with
+                  | Obs.Event.Op_return { time = rt; id = rid; _ }
+                    when rid = id -> Some rt
+                  | Obs.Event.Op_return _ | Obs.Event.Op_invoke _
+                  | Obs.Event.Send _ | Obs.Event.Recv _ | Obs.Event.Drop _
+                  | Obs.Event.Phase _ | Obs.Event.Fault_injected _
+                  | Obs.Event.Stabilized _ | Obs.Event.Mark _ -> None)
+                events
+            in
+            Option.map (fun rt -> (time, rt, span)) ret
+          | Obs.Event.Op_invoke _ | Obs.Event.Op_return _ | Obs.Event.Send _
+          | Obs.Event.Recv _ | Obs.Event.Drop _ | Obs.Event.Phase _
+          | Obs.Event.Fault_injected _ | Obs.Event.Stabilized _
+          | Obs.Event.Mark _ -> None)
+        events
+    in
+    let target =
+      match
+        List.find_opt (fun (inv, _, _) -> inv >= fault_at) reads
+      with
+      | Some pick ->
+        Printf.printf "picked: first read invoked after the corruption \
+                       burst\n";
+        Some pick
+      | None ->
+        (match
+           List.fold_left
+             (fun acc (inv, ret, span) ->
+               match acc with
+               | Some (i, r2, _) when r2 - i >= ret - inv -> acc
+               | Some _ | None -> Some (inv, ret, span))
+             None reads
+         with
+        | Some pick ->
+          Printf.printf "picked: slowest read of the run\n";
+          Some pick
+        | None -> None)
+    in
+    (match target with
+    | None -> Printf.printf "no completed read to trace\n"
+    | Some (inv, ret, span) -> (
+      Printf.printf "read invoked t=%d, returned t=%d (%d ticks)\n\n" inv
+        ret (ret - inv);
+      match
+        Obs.Tracefile.tree_for events ~trace:span.Obs.Trace_ctx.trace
+      with
+      | None -> Printf.printf "span %d: no causal tree found\n" span.Obs.Trace_ctx.id
+      | Some t ->
+        Format.printf "causal tree:@.%a@." Obs.Tracefile.pp_tree t;
+        Format.printf "latency breakdown:@.%a@." Obs.Tracefile.pp_breakdown
+          (Obs.Tracefile.breakdown t)));
+    (match out with
+    | None -> ()
+    | Some path ->
+      let buf = Buffer.create 65536 in
+      Buffer.add_string buf
+        (Obs.Json.to_string
+           (Obs.Tracefile.header ~experiment:"TRACE" ~seed));
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun e ->
+          Buffer.add_string buf (Obs.Json.to_string (Obs.Event.to_json e));
+          Buffer.add_char buf '\n')
+        events;
+      write_file path (Buffer.contents buf);
+      Printf.printf "trace written to %s (%s)\n" path
+        Obs.Tracefile.schema_version);
+    match chrome with
+    | None -> `Ok ()
+    | Some path -> (
+      let j = Obs.Chrome_trace.to_json events in
+      match Obs.Chrome_trace.validate j with
+      | Error e -> `Error (false, "chrome export failed validation: " ^ e)
+      | Ok () ->
+        write_file path (Obs.Json.to_string_pretty j ^ "\n");
+        Printf.printf "chrome trace written to %s\n" path;
+        `Ok ())
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Dump counters and events of one annotated run.")
-    Term.(const trace $ seed_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Trace one corrupted run causally: reconstruct and pretty-print \
+          the span tree of an interesting read, with optional JSONL and \
+          Chrome trace_event exports.")
+    Term.(ret (const trace $ seed_arg $ out_arg $ chrome_arg))
 
 let chaos_cmd =
   let family_conv =
@@ -273,10 +454,24 @@ let chaos_cmd =
     in
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
   in
+  let profile_arg =
+    let doc =
+      "Write a stabreg/mc-profile/v1 flight-recorder timeline of the \
+       campaign (one sample per completed trial) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+  in
   let chaos family trials byz strategy medium out replay expect domains seed
-      json trace =
+      json trace profile =
     Exp_drivers.Common.json_dir := json;
     Exp_drivers.Common.trace_out := trace;
+    let recorder =
+      Option.map
+        (fun _ ->
+          Obs.Profile.create ~every:1 ~clock:Stdlib.Sys.time ~kind:"chaos" ())
+        profile
+    in
     let status = ref (`Ok ()) in
     let exp = "CHAOS-" ^ Chaos.Campaign.family_to_string family in
     (match replay with
@@ -289,7 +484,7 @@ let chaos_cmd =
       Exp_drivers.Common.with_report ~exp ~seed (fun () ->
           let violations =
             Exp_drivers.Exp_chaos.run ~family ~medium ~byz ~strategy ~seed
-              ~trials ~domains ~out
+              ~trials ~domains ~out ?recorder ()
           in
           match (expect, violations) with
           | Some `Clean, _ :: _ ->
@@ -302,6 +497,9 @@ let chaos_cmd =
             status :=
               `Error (false, "expected a violation, campaign ran clean")
           | _ -> ()));
+    (match (profile, recorder) with
+    | Some path, Some r -> Exp_drivers.Common.write_profile path r
+    | (Some _ | None), _ -> ());
     Exp_drivers.Common.close_trace ();
     !status
   in
@@ -316,7 +514,7 @@ let chaos_cmd =
       ret
         (const chaos $ family_arg $ trials_arg $ byz_arg $ strategy_arg
        $ medium_arg $ out_arg $ replay_arg $ expect_arg $ domains_arg
-       $ seed_arg $ json_arg $ trace_out_arg))
+       $ seed_arg $ json_arg $ trace_out_arg $ profile_arg))
 
 let mc_cmd =
   let mc_family_conv =
@@ -589,12 +787,32 @@ let mc_cmd =
     in
     Arg.(value & opt (some file) None & info [ "guide" ] ~docv:"FILE" ~doc)
   in
+  let profile_arg =
+    let doc =
+      "Write a stabreg/mc-profile/v1 flight-recorder timeline of the \
+       search (periodic samples on the state counter: states, pruning \
+       hits, visited-set occupancy, per-domain utilization) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+  in
+  let profile_every_arg =
+    let doc = "Minimum states between $(b,--profile-out) samples." in
+    Arg.(value & opt int 1000 & info [ "profile-every" ] ~docv:"N" ~doc)
+  in
   let mc family servers t byz strategy writes reads read_budget corrupt
       oracle depth max_states no_reduction no_visited order_seed target
       cross_check domains sequential_check expect out replay guide seed json
-      trace =
+      trace profile profile_every =
     Exp_drivers.Common.json_dir := json;
     Exp_drivers.Common.trace_out := trace;
+    let recorder =
+      Option.map
+        (fun _ ->
+          Obs.Profile.create ~every:profile_every ~clock:Stdlib.Sys.time
+            ~kind:"mc" ())
+        profile
+    in
     let status = ref (`Ok ()) in
     (match (replay, guide) with
     | Some _, Some _ ->
@@ -637,9 +855,13 @@ let mc_cmd =
               Exp_drivers.Exp_mc.run ~cfg ~budgets ~reduction
                 ~use_visited:(not no_visited) ~seed:order_seed ~target
                 ~cross_check ~domains ~sequential_check ~expect ~out
+                ?recorder ()
             with
             | Ok () -> ()
             | Error e -> status := `Error (false, e))));
+    (match (profile, recorder) with
+    | Some path, Some r -> Exp_drivers.Common.write_profile path r
+    | (Some _ | None), _ -> ());
     Exp_drivers.Common.close_trace ();
     !status
   in
@@ -659,7 +881,8 @@ let mc_cmd =
        $ depth_arg $ max_states_arg $ no_reduction_arg $ no_visited_arg
        $ order_seed_arg $ target_arg $ cross_check_arg $ domains_arg
        $ sequential_check_arg $ expect_arg $ out_arg $ replay_arg $ guide_arg
-       $ seed_arg $ json_arg $ trace_out_arg))
+       $ seed_arg $ json_arg $ trace_out_arg $ profile_arg
+       $ profile_every_arg))
 
 let list_cmd =
   let list () =

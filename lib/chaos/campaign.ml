@@ -712,10 +712,38 @@ let violations r =
 
 let trial_seed_for ~seed i = seed + (1_000_003 * i)
 
-let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) ?(domains = 1)
-    cfg ~seed ~trials =
+let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) ?recorder
+    ?(domains = 1) cfg ~seed ~trials =
   if domains < 1 then
     invalid_arg "Chaos.Campaign.run: domains must be at least 1";
+  (* Flight-recorder accumulators, ticked on completed trials.  Trials
+     are noted strictly in index order (the parallel path notes them in
+     its post-join, order-preserving fold), so the sample timeline is
+     byte-stable regardless of [domains]. *)
+  let noted = ref 0
+  and viol_count = ref 0
+  and event_count = ref 0
+  and shrink_count = ref 0
+  and last_recorded = ref (-1) in
+  let note t =
+    incr noted;
+    if not (same_verdict t.outcome.verdict Clean) then incr viol_count;
+    event_count := !event_count + t.events;
+    shrink_count := !shrink_count + t.shrink_runs;
+    match recorder with
+    | None -> ()
+    | Some r ->
+      if Obs.Profile.due r ~tick:!noted then begin
+        last_recorded := !noted;
+        Obs.Profile.sample r ~tick:!noted (fun () ->
+            [
+              ("trials", Obs.Json.Int !noted);
+              ("violations", Obs.Json.Int !viol_count);
+              ("events", Obs.Json.Int !event_count);
+              ("shrink_runs", Obs.Json.Int !shrink_count);
+            ])
+      end
+  in
   let one ~log i =
     let trial_seed = trial_seed_for ~seed i in
     let schedule = generate cfg ~seed:trial_seed in
@@ -761,7 +789,11 @@ let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) ?(domains = 1)
       }
   in
   let trials_list =
-    if domains = 1 then List.init trials (one ~log)
+    if domains = 1 then
+      List.init trials (fun i ->
+          let t = one ~log i in
+          note t;
+          t)
     else begin
       (* Each trial is already independent and deterministic in its own
          derived seed, so fanning trials across domains changes nothing
@@ -787,8 +819,47 @@ let run ?on_scenario ?(log = ignore) ?(shrink_violations = true) ?(domains = 1)
         (fun (t, lines) ->
           String.split_on_char '\n' lines
           |> List.iter (fun l -> if l <> "" then log l);
+          note t;
           t)
         outcomes
     end
   in
+  (match recorder with
+  | None -> ()
+  | Some r ->
+    if domains > 1 then begin
+      (* Pool.map assigns items round-robin before any domain starts
+         (item [i] runs on domain [i mod domains]), so the per-domain
+         split is reconstructible after the join. *)
+      let per_domain =
+        List.init domains (fun d ->
+            let mine =
+              List.filter (fun t -> t.index mod domains = d) trials_list
+            in
+            let viols =
+              List.length
+                (List.filter
+                   (fun t -> not (same_verdict t.outcome.verdict Clean))
+                   mine)
+            in
+            Obs.Json.Obj
+              [
+                ("domain", Obs.Json.Int d);
+                ("trials", Obs.Json.Int (List.length mine));
+                ( "events",
+                  Obs.Json.Int
+                    (List.fold_left (fun a t -> a + t.events) 0 mine) );
+                ("violations", Obs.Json.Int viols);
+              ])
+      in
+      Obs.Profile.add_section r "domains" (Obs.Json.List per_domain)
+    end;
+    if !last_recorded <> !noted then
+      Obs.Profile.sample ~force:true r ~tick:!noted (fun () ->
+          [
+            ("trials", Obs.Json.Int !noted);
+            ("violations", Obs.Json.Int !viol_count);
+            ("events", Obs.Json.Int !event_count);
+            ("shrink_runs", Obs.Json.Int !shrink_count);
+          ]));
   { config = cfg; seed; trials = trials_list }

@@ -141,6 +141,7 @@ val run :
   ?on_scenario:(trial:int -> Harness.Scenario.t -> unit) ->
   ?log:(string -> unit) ->
   ?shrink_violations:bool ->
+  ?recorder:Obs.Profile.t ->
   ?domains:int ->
   config ->
   seed:int ->
@@ -159,4 +160,14 @@ val run :
     changes.  With [domains > 1], [log] lines are buffered per trial and
     replayed in trial order after all trials complete, and [on_scenario]
     runs on whichever domain executes the trial — trial 0 always runs on
-    the calling domain (where drivers attach their sinks). *)
+    the calling domain (where drivers attach their sinks).
+
+    [recorder] is a flight recorder ({!Obs.Profile}) ticked on completed
+    trials: each sample snapshots cumulative trials, violations, injected
+    events and shrink re-executions, closed by a final forced sample.
+    Trials are noted strictly in index order on the calling domain (the
+    parallel path notes them in its post-join fold), so the sample
+    timeline is byte-stable regardless of [domains]; with [domains > 1]
+    the recorder also gains a ["domains"] section reconstructing the
+    round-robin per-domain split (trials, events, violations).
+    Recording never perturbs outcomes or repros. *)

@@ -3,8 +3,10 @@ type summary = {
   mean : float;
   min : float;
   p50 : float;
+  p90 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 
@@ -26,8 +28,10 @@ let summary xs =
     mean = total /. float_of_int n;
     min = arr.(0);
     p50 = percentile arr 0.5;
+    p90 = percentile arr 0.9;
     p95 = percentile arr 0.95;
     p99 = percentile arr 0.99;
+    p999 = percentile arr 0.999;
     max = arr.(n - 1);
   }
 
@@ -68,5 +72,7 @@ let stabilization_read_index ~valid h =
     | Some _ -> None
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.1f min=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f"
-    s.count s.mean s.min s.p50 s.p95 s.p99 s.max
+  Format.fprintf ppf
+    "n=%d mean=%.1f min=%.1f p50=%.1f p90=%.1f p95=%.1f p99=%.1f p999=%.1f \
+     max=%.1f"
+    s.count s.mean s.min s.p50 s.p90 s.p95 s.p99 s.p999 s.max

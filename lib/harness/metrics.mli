@@ -6,8 +6,10 @@ type summary = {
   mean : float;
   min : float;
   p50 : float;
+  p90 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 

@@ -94,6 +94,9 @@ let register_port t (port : Registers.Net.client_port) =
                   Registers.Messages.Ack_read
                     ( Registers.Messages.arbitrary_cell rng,
                       Some (Registers.Messages.arbitrary_cell rng) );
+                (* Debris from the arbitrary initial state has no causal
+                   ancestry. *)
+                span = Obs.Trace_ctx.none;
               })
         port.Registers.Net.from_servers)
 

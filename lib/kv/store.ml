@@ -52,12 +52,14 @@ let register t key =
 
 let set t ~key v =
   let span = Registers.Instr.start t.wprobe in
-  Registers.Mwmr.write (register t key) v;
+  Registers.Mwmr.write ~parent:(Registers.Instr.ctx span) (register t key) v;
   Registers.Instr.finish t.wprobe span
 
 let get t ~key =
   let span = Registers.Instr.start t.rprobe in
-  let result = Registers.Mwmr.read (register t key) in
+  let result =
+    Registers.Mwmr.read ~parent:(Registers.Instr.ctx span) (register t key)
+  in
   Registers.Instr.finish ~ok:(result <> None) t.rprobe span;
   result
 

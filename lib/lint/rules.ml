@@ -109,15 +109,24 @@ let r1 =
                "ambient Random.%s reads the global RNG; thread a seeded \
                 Sim.Rng / Random.State instead"
                fn)
-        | Some [ "Unix"; ("gettimeofday" | "time" | "localtime" | "gmtime") ]
-          ->
+        | Some
+            [
+              "Unix";
+              ("gettimeofday" | "time" | "localtime" | "gmtime" | "times");
+            ] ->
           Rule.finding ctx rule ~loc:e.pexp_loc
             "wall-clock read; derive time from the simulation's virtual \
-             clock"
+             clock (drivers in bin/ may inject a real clock, e.g. \
+             Obs.Profile's ?clock)"
+        | Some [ "Unix"; ("sleep" | "sleepf" | "select") ] ->
+          Rule.finding ctx rule ~loc:e.pexp_loc
+            "real-time waiting makes behavior depend on the host \
+             scheduler; advance the simulation's virtual clock instead"
         | Some [ "Sys"; "time" ] ->
           Rule.finding ctx rule ~loc:e.pexp_loc
             "Sys.time reads process CPU time; derive time from the \
-             simulation's virtual clock"
+             simulation's virtual clock (drivers in bin/ may inject a \
+             real clock, e.g. Obs.Profile's ?clock)"
         | Some [ "Domain"; ("spawn" | "join") ] ->
           Rule.finding ctx rule ~loc:e.pexp_loc
             "Domain.spawn introduces OS-level scheduling into a \

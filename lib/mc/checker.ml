@@ -175,6 +175,8 @@ type stats = {
   mutable sym_skips : int;  (** moves skipped as symmetric to a sibling *)
   mutable replays : int;  (** prefix re-executions (no snapshots) *)
   mutable off_target : int;  (** violations ignored by a [target] filter *)
+  mutable fp_collisions : int;
+      (** distinct digests interned under an already-occupied 8-byte key *)
   mutable peak_visited : int;
   mutable max_depth_seen : int;
   mutable truncated : bool;  (** some budget cut the search *)
@@ -190,6 +192,7 @@ let fresh_stats () =
     sym_skips = 0;
     replays = 0;
     off_target = 0;
+    fp_collisions = 0;
     peak_visited = 0;
     max_depth_seen = 0;
     truncated = false;
@@ -244,6 +247,8 @@ type ctx = {
   visited : (int, (string * Sys.move list) list) Hashtbl.t;
   mutable visited_entries : int;
   stats : stats;
+  (* Flight recorder, sampled on the deterministic state counter. *)
+  recorder : Obs.Profile.t option;
   mutable sys : Sys.t;
 }
 
@@ -285,6 +290,8 @@ let fp_store ctx raw residual =
   in
   Hashtbl.replace ctx.visited key bucket;
   if fresh then begin
+    if List.length bucket > 1 then
+      ctx.stats.fp_collisions <- ctx.stats.fp_collisions + 1;
     ctx.visited_entries <- ctx.visited_entries + 1;
     if ctx.visited_entries > ctx.stats.peak_visited then
       ctx.stats.peak_visited <- ctx.visited_entries
@@ -324,6 +331,24 @@ let replay_prefix ctx prefix_rev =
   List.iter (fun mv -> ignore (Sys.apply sys mv)) (List.rev prefix_rev);
   ctx.sys <- sys
 
+(* One flight-recorder snapshot: the full stats record plus the live
+   frontier depth and visited-set occupancy at the sampled state. *)
+let profile_fields ctx ~depth =
+  let s = ctx.stats in
+  [
+    ("states", Obs.Json.Int s.states);
+    ("transitions", Obs.Json.Int s.transitions);
+    ("depth", Obs.Json.Int depth);
+    ("max_depth", Obs.Json.Int s.max_depth_seen);
+    ("visited", Obs.Json.Int ctx.visited_entries);
+    ("revisits", Obs.Json.Int s.revisits);
+    ("sleep_skips", Obs.Json.Int s.sleep_skips);
+    ("sym_skips", Obs.Json.Int s.sym_skips);
+    ("fp_collisions", Obs.Json.Int s.fp_collisions);
+    ("replays", Obs.Json.Int s.replays);
+    ("terminals", Obs.Json.Int s.terminals);
+  ]
+
 let rec explore ctx ~prefix_rev ~depth ~sleep =
   if ctx.stats.states >= ctx.budgets.max_states then begin
     ctx.stats.truncated <- true;
@@ -331,6 +356,11 @@ let rec explore ctx ~prefix_rev ~depth ~sleep =
   end;
   ctx.stats.states <- ctx.stats.states + 1;
   if depth > ctx.stats.max_depth_seen then ctx.stats.max_depth_seen <- depth;
+  (match ctx.recorder with
+  | None -> ()
+  | Some r ->
+    Obs.Profile.sample r ~tick:ctx.stats.states (fun () ->
+        profile_fields ctx ~depth));
   let moves = Sys.enabled ctx.sys in
   if moves = [] then begin
     ctx.stats.terminals <- ctx.stats.terminals + 1;
@@ -442,7 +472,7 @@ let rec explore ctx ~prefix_rev ~depth ~sleep =
   end
 
 let search ?(budgets = default_budgets) ?(reduction = Sleep_sets)
-    ?(use_visited = true) ?seed ?target (cfg : Config.t) =
+    ?(use_visited = true) ?seed ?target ?recorder (cfg : Config.t) =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Mc.Checker.search: " ^ e));
@@ -460,31 +490,43 @@ let search ?(budgets = default_budgets) ?(reduction = Sleep_sets)
       visited = Hashtbl.create 4096;
       visited_entries = 0;
       stats = fresh_stats ();
+      recorder;
       sys = Sys.create cfg;
     }
   in
+  let finish outcome =
+    (match ctx.recorder with
+    | None -> ()
+    | Some r ->
+      Obs.Profile.sample ~force:true r ~tick:ctx.stats.states (fun () ->
+          profile_fields ctx ~depth:ctx.stats.max_depth_seen));
+    outcome
+  in
   match explore ctx ~prefix_rev:[] ~depth:0 ~sleep:[] with
   | () ->
-    {
-      verdict = Clean;
-      exhaustive = not ctx.stats.truncated;
-      stats = ctx.stats;
-      trace = None;
-    }
+    finish
+      {
+        verdict = Clean;
+        exhaustive = not ctx.stats.truncated;
+        stats = ctx.stats;
+        trace = None;
+      }
   | exception Found (trace, v) ->
-    {
-      verdict = v;
-      exhaustive = false;
-      stats = ctx.stats;
-      trace = Some trace;
-    }
+    finish
+      {
+        verdict = v;
+        exhaustive = false;
+        stats = ctx.stats;
+        trace = Some trace;
+      }
   | exception Out_of_states ->
-    {
-      verdict = Clean;
-      exhaustive = false;
-      stats = ctx.stats;
-      trace = None;
-    }
+    finish
+      {
+        verdict = Clean;
+        exhaustive = false;
+        stats = ctx.stats;
+        trace = None;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Parallel swarm                                                     *)
@@ -506,6 +548,7 @@ let merge_stats outcomes =
       agg.sym_skips <- agg.sym_skips + s.sym_skips;
       agg.replays <- agg.replays + s.replays;
       agg.off_target <- agg.off_target + s.off_target;
+      agg.fp_collisions <- agg.fp_collisions + s.fp_collisions;
       agg.peak_visited <- agg.peak_visited + s.peak_visited;
       if s.max_depth_seen > agg.max_depth_seen then
         agg.max_depth_seen <- s.max_depth_seen)
@@ -514,11 +557,12 @@ let merge_stats outcomes =
     List.for_all (fun (o : outcome) -> o.stats.truncated) outcomes;
   agg
 
-let search_parallel ?budgets ?reduction ?use_visited ?seed ?target
+let search_parallel ?budgets ?reduction ?use_visited ?seed ?target ?recorder
     ?(domains = 1) cfg =
   if domains < 1 then
     invalid_arg "Mc.Checker.search_parallel: domains must be >= 1";
-  if domains = 1 then search ?budgets ?reduction ?use_visited ?seed ?target cfg
+  if domains = 1 then
+    search ?budgets ?reduction ?use_visited ?seed ?target ?recorder cfg
   else begin
     (match Config.validate cfg with
     | Ok () -> ()
@@ -538,14 +582,62 @@ let search_parallel ?budgets ?reduction ?use_visited ?seed ?target
           | None -> portfolio_stride * i
           | Some s -> s + (portfolio_stride * i))
     in
+    (* A recorder is single-domain mutable state: give every slice its
+       own branch and fold the branches back into the caller's recorder
+       after the join (Domain.join orders the slice writes before the
+       merge). *)
+    let branches =
+      match recorder with
+      | None -> [||]
+      | Some r -> Array.init domains (fun _ -> Obs.Profile.branch r)
+    in
     let outcomes =
       Parallel.Pool.map ~domains
         (fun i ->
+          let recorder =
+            if Array.length branches = 0 then None else Some branches.(i)
+          in
           search ?budgets ?reduction ?use_visited ?seed:(slice_seed i)
-            ?target cfg)
+            ?target ?recorder cfg)
         (List.init domains Fun.id)
     in
     let agg = merge_stats outcomes in
+    (match recorder with
+    | None -> ()
+    | Some r ->
+      let per_slice =
+        List.mapi
+          (fun i (o : outcome) ->
+            let share =
+              if agg.states = 0 then 0.
+              else float_of_int o.stats.states /. float_of_int agg.states
+            in
+            Obs.Json.Obj
+              [
+                ("slice", Obs.Json.Int i);
+                ("states", Obs.Json.Int o.stats.states);
+                ("transitions", Obs.Json.Int o.stats.transitions);
+                ("utilization", Obs.Json.Float share);
+                ( "samples",
+                  Obs.Json.List (Obs.Profile.sample_jsons branches.(i)) );
+              ])
+          outcomes
+      in
+      Obs.Profile.add_section r "domains" (Obs.Json.List per_slice);
+      Obs.Profile.sample ~force:true r ~tick:agg.states (fun () ->
+          [
+            ("states", Obs.Json.Int agg.states);
+            ("transitions", Obs.Json.Int agg.transitions);
+            ("depth", Obs.Json.Int agg.max_depth_seen);
+            ("max_depth", Obs.Json.Int agg.max_depth_seen);
+            ("visited", Obs.Json.Int agg.peak_visited);
+            ("revisits", Obs.Json.Int agg.revisits);
+            ("sleep_skips", Obs.Json.Int agg.sleep_skips);
+            ("sym_skips", Obs.Json.Int agg.sym_skips);
+            ("fp_collisions", Obs.Json.Int agg.fp_collisions);
+            ("replays", Obs.Json.Int agg.replays);
+            ("terminals", Obs.Json.Int agg.terminals);
+          ]));
     match
       List.find_opt
         (fun (o : outcome) ->
@@ -853,11 +945,11 @@ let package ~shrink_violations ~log cfg (outcome : outcome) =
     in
     { outcome = { outcome with verdict }; cex = Some cex; shrink_runs }
 
-let check ?budgets ?reduction ?use_visited ?seed ?target ?domains
+let check ?budgets ?reduction ?use_visited ?seed ?target ?recorder ?domains
     ?(shrink_violations = true) ?(log = ignore) cfg =
   let outcome =
-    search_parallel ?budgets ?reduction ?use_visited ?seed ?target ?domains
-      cfg
+    search_parallel ?budgets ?reduction ?use_visited ?seed ?target ?recorder
+      ?domains cfg
   in
   package ~shrink_violations ~log cfg outcome
 

@@ -58,6 +58,10 @@ type stats = {
   mutable sym_skips : int;  (** moves skipped as symmetric to a sibling *)
   mutable replays : int;  (** prefix re-executions (no snapshots) *)
   mutable off_target : int;  (** violations ignored by a [target] filter *)
+  mutable fp_collisions : int;
+      (** distinct full digests interned under an already-occupied 8-byte
+          visited-set key — how often the two-layer table actually needed
+          its second layer *)
   mutable peak_visited : int;
   mutable max_depth_seen : int;
   mutable truncated : bool;  (** some budget cut the search *)
@@ -78,6 +82,7 @@ val search :
   ?use_visited:bool ->
   ?seed:int ->
   ?target:string ->
+  ?recorder:Obs.Profile.t ->
   Config.t ->
   outcome
 (** Explore until a violation, exhaustion, or a budget.  Raises
@@ -95,7 +100,13 @@ val search :
     [target] restricts the hunt to one violation kind (e.g.
     ["inversion"]): terminals violating some other way are counted in
     [stats.off_target] and skipped.  An exhaustive [Clean] outcome under
-    a target only certifies the absence of that kind. *)
+    a target only certifies the absence of that kind.
+
+    [recorder] is a flight recorder ({!Obs.Profile}) sampled on the
+    deterministic state counter: each sample snapshots the live stats
+    record plus the current frontier depth and visited-set occupancy,
+    and a final forced sample closes the timeline.  Recording never
+    perturbs the search (no verdict, trace or stat changes). *)
 
 val search_parallel :
   ?budgets:budgets ->
@@ -103,6 +114,7 @@ val search_parallel :
   ?use_visited:bool ->
   ?seed:int ->
   ?target:string ->
+  ?recorder:Obs.Profile.t ->
   ?domains:int ->
   Config.t ->
   outcome
@@ -121,7 +133,14 @@ val search_parallel :
     resident states).  With [domains:1] this is {!search} itself; with
     more, wall-clock throughput scales with the domain count while the
     result stays a pure function of the inputs.  Raises
-    [Invalid_argument] if [domains < 1] or the config is invalid. *)
+    [Invalid_argument] if [domains < 1] or the config is invalid.
+
+    With [recorder] and [domains > 1], every slice records into its own
+    {!Obs.Profile.branch} (a recorder must not be shared across
+    domains); after the join the caller's recorder gains a ["domains"]
+    section of per-slice summaries (states, transitions, utilization =
+    share of the aggregate states, and the slice's own samples) plus one
+    forced aggregate sample. *)
 
 val shrink :
   ?log:(string -> unit) ->
@@ -177,6 +196,7 @@ val check :
   ?use_visited:bool ->
   ?seed:int ->
   ?target:string ->
+  ?recorder:Obs.Profile.t ->
   ?domains:int ->
   ?shrink_violations:bool ->
   ?log:(string -> unit) ->

@@ -1,0 +1,16 @@
+(** Chrome [trace_event]-format export (Perfetto / chrome://tracing).
+
+    {!to_json} renders a run's typed events as the JSON Object Format:
+    thread-name metadata, one complete ("X") slice per causal span on
+    the owning peer's thread, and instant ("i") events for faults,
+    marks and stabilization.  Virtual-clock ticks map 1:1 to the
+    format's microsecond timestamps, so slice durations read as ticks.
+    Output is deterministic: slices in span-allocation (tree walk)
+    order, threads sorted by id. *)
+
+val to_json : Event.t list -> Json.t
+
+val validate : Json.t -> (unit, string) result
+(** Structural check of an exported document: [traceEvents] is a list
+    whose entries carry the fields their [ph] requires, with
+    non-negative [ts]/[dur]. *)

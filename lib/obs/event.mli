@@ -22,11 +22,32 @@ type msg_class =
 type op_kind = [ `Read | `Write ]
 
 type t =
-  | Send of { time : int; src : peer; dst : peer; cls : msg_class; bytes : int }
-  | Recv of { time : int; src : peer; dst : peer; cls : msg_class; bytes : int }
+  | Send of {
+      time : int;
+      src : peer;
+      dst : peer;
+      cls : msg_class;
+      bytes : int;
+      span : Trace_ctx.span;
+    }
+  | Recv of {
+      time : int;
+      src : peer;
+      dst : peer;
+      cls : msg_class;
+      bytes : int;
+      span : Trace_ctx.span;
+    }
   | Drop of { time : int; link : string; cls : msg_class option }
       (** A packet lost by an unreliable link. *)
-  | Op_invoke of { time : int; id : int; proc : string; reg : string; op : op_kind }
+  | Op_invoke of {
+      time : int;
+      id : int;
+      proc : string;
+      reg : string;
+      op : op_kind;
+      span : Trace_ctx.span;
+    }
   | Op_return of {
       time : int;
       id : int;
@@ -34,10 +55,14 @@ type t =
       reg : string;
       op : op_kind;
       ok : bool;
+      span : Trace_ctx.span;
     }
       (** [Op_invoke]/[Op_return] bracket one register operation; [id]
           pairs them, [reg] names the register class (e.g.
           ["swsr_atomic"]). *)
+  | Phase of { time : int; server : int; phase : string; span : Trace_ctx.span }
+      (** A server-side protocol phase transition (e.g. handling a WRITE),
+          attributed to the span of the message that triggered it. *)
   | Fault_injected of { time : int; target : string; hits : int }
   | Stabilized of { time : int }
   | Mark of { time : int; label : string }
@@ -54,6 +79,11 @@ val class_name : msg_class -> string
 val op_name : op_kind -> string
 
 val time : t -> int
+
+val span : t -> Trace_ctx.span
+(** The causal span an event belongs to; {!Trace_ctx.none} for the
+    span-less constructors ([Drop], [Fault_injected], [Stabilized],
+    [Mark]). *)
 
 val to_json : t -> Json.t
 

@@ -167,8 +167,10 @@ let hist_to_json h =
       ("mean", Json.Float (hist_mean h));
       ("min", Json.Float (hist_min h));
       ("p50", Json.Float (quantile h 0.5));
+      ("p90", Json.Float (quantile h 0.9));
       ("p95", Json.Float (quantile h 0.95));
       ("p99", Json.Float (quantile h 0.99));
+      ("p999", Json.Float (quantile h 0.999));
       ("max", Json.Float (hist_max h));
     ]
 

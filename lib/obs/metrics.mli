@@ -42,7 +42,7 @@ val bucket_bounds : int -> float * float
 val num_buckets : int
 
 val hist_to_json : histogram -> Json.t
-(** [{count, mean, min, p50, p95, p99, max}]. *)
+(** [{count, mean, min, p50, p90, p95, p99, p999, max}]. *)
 
 (** {1 Registry} *)
 

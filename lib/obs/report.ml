@@ -5,8 +5,10 @@ type op_summary = {
   mean : float;
   min : float;
   p50 : float;
+  p90 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 
@@ -54,8 +56,10 @@ let op_summary_of_histogram h =
     mean = Metrics.hist_mean h;
     min = Metrics.hist_min h;
     p50 = Metrics.quantile h 0.5;
+    p90 = Metrics.quantile h 0.9;
     p95 = Metrics.quantile h 0.95;
     p99 = Metrics.quantile h 0.99;
+    p999 = Metrics.quantile h 0.999;
     max = Metrics.hist_max h;
   }
 
@@ -70,8 +74,10 @@ let op_summary_to_json s =
       ("mean", Json.Float s.mean);
       ("min", Json.Float s.min);
       ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
       ("p95", Json.Float s.p95);
       ("p99", Json.Float s.p99);
+      ("p999", Json.Float s.p999);
       ("max", Json.Float s.max);
     ]
 
@@ -148,7 +154,8 @@ let validate_op_summary ctx j =
     let* _ = as_float (ctx ^ "." ^ key) v in
     Ok ()
   in
-  List.fold_left check_stat (Ok ()) [ "mean"; "min"; "p50"; "p95"; "p99"; "max" ]
+  List.fold_left check_stat (Ok ())
+    [ "mean"; "min"; "p50"; "p90"; "p95"; "p99"; "p999"; "max" ]
 
 let validate_msg_stats ctx j =
   let* _ = as_obj ctx j in

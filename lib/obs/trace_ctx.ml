@@ -1,0 +1,35 @@
+type span = { trace : int; id : int; parent : int }
+
+type t = { mutable next : int }
+
+let none = { trace = 0; id = 0; parent = 0 }
+
+let is_none s = s.id = 0
+
+let create () = { next = 1 }
+
+let root t =
+  let id = t.next in
+  t.next <- id + 1;
+  { trace = id; id; parent = 0 }
+
+let child t parent =
+  if is_none parent then root t
+  else begin
+    let id = t.next in
+    t.next <- id + 1;
+    { trace = parent.trace; id; parent = parent.id }
+  end
+
+let allocated t = t.next - 1
+
+let pp ppf s =
+  if is_none s then Format.pp_print_string ppf "span:-"
+  else Format.fprintf ppf "span:%d/%d<-%d" s.trace s.id s.parent
+
+let fields s =
+  [
+    ("trace", Json.Int s.trace);
+    ("span", Json.Int s.id);
+    ("parent", Json.Int s.parent);
+  ]

@@ -20,11 +20,11 @@ module Nonstab = struct
               (* Classical monotone-timestamp update rule. *)
               if c.Messages.sn > i.Server.last_val.Messages.sn then
                 i.Server.last_val <- c;
-              Net.reply net ~server:s ~client:env.client
+              Net.reply ~parent:env.span net ~server:s ~client:env.client
                 (Messages.Ack_write None) ~round:env.round
             | Messages.New_help _ -> ()
             | Messages.Read _ ->
-              Net.reply net ~server:s ~client:env.client
+              Net.reply ~parent:env.span net ~server:s ~client:env.client
                 (Messages.Ack_read (i.Server.last_val, None))
                 ~round:env.round))
       servers

@@ -6,7 +6,7 @@ type probe = {
   hist : Obs.Metrics.histogram;
 }
 
-type span = { id : int; t0 : Sim.Vtime.t }
+type span = { id : int; t0 : Sim.Vtime.t; ctx : Obs.Trace_ctx.span }
 
 let probe ~engine ~proc ~reg op =
   {
@@ -20,15 +20,30 @@ let probe ~engine ~proc ~reg op =
         (Printf.sprintf "op.%s.%s" reg (Obs.Event.op_name op));
   }
 
-let start p =
+let start ?parent p =
   let hub = Sim.Engine.hub p.engine in
   let id = Obs.Hub.next_op_id hub in
   let t0 = Sim.Engine.now p.engine in
+  let spans = Sim.Engine.spans p.engine in
+  let ctx =
+    match parent with
+    | None -> Obs.Trace_ctx.root spans
+    | Some parent -> Obs.Trace_ctx.child spans parent
+  in
   if Obs.Hub.active hub then
     Obs.Hub.emit hub
       (Obs.Event.Op_invoke
-         { time = Sim.Vtime.to_int t0; id; proc = p.proc; reg = p.reg; op = p.op });
-  { id; t0 }
+         {
+           time = Sim.Vtime.to_int t0;
+           id;
+           proc = p.proc;
+           reg = p.reg;
+           op = p.op;
+           span = ctx;
+         });
+  { id; t0; ctx }
+
+let ctx span = span.ctx
 
 let finish ?(ok = true) p span =
   let now = Sim.Engine.now p.engine in
@@ -44,4 +59,5 @@ let finish ?(ok = true) p span =
            reg = p.reg;
            op = p.op;
            ok;
+           span = span.ctx;
          })

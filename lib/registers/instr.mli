@@ -20,7 +20,15 @@ val probe :
     process (e.g. ["c0"]).  The latency histogram is
     ["op.<reg>.<read|write>"]. *)
 
-val start : probe -> span
+val start : ?parent:Obs.Trace_ctx.span -> probe -> span
+(** Open an operation span.  Without [parent] the operation starts a
+    fresh causal tree (the normal top-level case); composite registers
+    pass the enclosing layer's context so one user-level operation stays
+    a single tree across layers. *)
+
+val ctx : span -> Obs.Trace_ctx.span
+(** The causal context of an open operation; pass it to
+    [Net.ss_broadcast ?span] so the round trips parent under it. *)
 
 val finish : ?ok:bool -> probe -> span -> unit
 (** [ok] defaults to [true]; pass [false] for operations that abort

@@ -16,9 +16,20 @@ type to_server = Write of cell | New_help of cell | Read of bool
 
 type to_client = Ack_write of help | Ack_read of cell * help
 
-type server_envelope = { round : int; client : int; inst : int; body : to_server }
+type server_envelope = {
+  round : int;
+  client : int;
+  inst : int;
+  body : to_server;
+  span : Obs.Trace_ctx.span;
+}
 
-type client_envelope = { round : int; server : int; body : to_client }
+type client_envelope = {
+  round : int;
+  server : int;
+  body : to_client;
+  span : Obs.Trace_ctx.span;
+}
 
 let pp_cell ppf c = Format.fprintf ppf "(%a,%a)" Seqnum.pp c.sn Value.pp c.v
 

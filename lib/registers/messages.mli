@@ -40,9 +40,19 @@ type server_envelope = {
   client : int;
   inst : int;
   body : to_server;
+  span : Obs.Trace_ctx.span;
 }
+(** [span] is pure observability metadata: the causal span of the
+    broadcast round that carries this message.  It takes part in no
+    protocol decision, is excluded from model-checker fingerprints, and
+    does not count toward the wire-byte estimate. *)
 
-type client_envelope = { round : int; server : int; body : to_client }
+type client_envelope = {
+  round : int;
+  server : int;
+  body : to_client;
+  span : Obs.Trace_ctx.span;
+}
 
 val class_of_to_server : to_server -> Obs.Event.msg_class
 

@@ -70,14 +70,14 @@ let decode ~k v =
    that exhausts the inquiry budget (possible only before the registers'
    writers have written post-fault) is absorbed as a genesis-stamped Bot
    triple; see the [view_budget] documentation. *)
-let read_views ?max_iterations p =
+let read_views ?parent ?max_iterations p =
   let k = epoch_k p.cfg in
   let budget =
     match max_iterations with Some b -> b | None -> p.cfg.view_budget
   in
   Array.map
     (fun r ->
-      match Swmr.read ~max_iterations:budget r with
+      match Swmr.read ?parent ~max_iterations:budget r with
       | Some v -> decode ~k v
       | None -> (Value.bot, Epoch.genesis ~k, 0))
     p.views
@@ -110,9 +110,10 @@ let frontier views =
     in
     Some (me, seq_max, holders)
 
-let write p v =
-  let span = Instr.start p.wprobe in
-  let views = read_views p in
+let write ?parent p v =
+  let span = Instr.start ?parent p.wprobe in
+  let ctx = Instr.ctx span in
+  let views = read_views ~parent:ctx p in
   if must_open_epoch p views then begin
     let ne = Epoch.next_epoch ~k:(epoch_k p.cfg) (view_epochs views) in
     p.epochs_opened <- p.epochs_opened + 1;
@@ -124,7 +125,7 @@ let write p v =
     let ts_seq = seq_max + 1 in
     p.last_ts <- Some (me, ts_seq);
     (* line 07 *)
-    Swmr.write p.own (Value.stamped ~data:v ~epoch:me ~seq:ts_seq);
+    Swmr.write ~parent:ctx p.own (Value.stamped ~data:v ~epoch:me ~seq:ts_seq);
     Instr.finish p.wprobe span
 
 let pick_return p (_me, seq_max, holders) =
@@ -138,9 +139,10 @@ let pick_return p (_me, seq_max, holders) =
   | Some (j, v, _, _) -> (j, v)
   | None -> (0, Value.bot) (* unreachable: holders is non-empty *)
 
-let read_timestamped ?max_iterations p =
-  let span = Instr.start p.rprobe in
-  let views = read_views ?max_iterations p in
+let read_timestamped ?parent ?max_iterations p =
+  let span = Instr.start ?parent p.rprobe in
+  let ctx = Instr.ctx span in
+  let views = read_views ~parent:ctx ?max_iterations p in
   if must_open_epoch p views then begin
     (* Line 11: restamp our own current value into a fresh epoch. *)
     let ne = Epoch.next_epoch ~k:(epoch_k p.cfg) (view_epochs views) in
@@ -148,7 +150,7 @@ let read_timestamped ?max_iterations p =
     let own_v, _, _ = views.(p.id) in
     views.(p.id) <- (own_v, ne, 0);
     p.restamps_rev <- (own_v, ne, 0) :: p.restamps_rev;
-    Swmr.write p.own (Value.stamped ~data:own_v ~epoch:ne ~seq:0)
+    Swmr.write ~parent:ctx p.own (Value.stamped ~data:own_v ~epoch:ne ~seq:0)
   end;
   match frontier views with
   | None ->
@@ -159,8 +161,8 @@ let read_timestamped ?max_iterations p =
     Instr.finish p.rprobe span;
     Some (v, me, seq_max, j)
 
-let read ?max_iterations p =
-  match read_timestamped ?max_iterations p with
+let read ?parent ?max_iterations p =
+  match read_timestamped ?parent ?max_iterations p with
   | Some (v, _, _, _) -> Some v
   | None -> None
 

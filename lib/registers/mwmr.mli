@@ -46,14 +46,18 @@ type process
 val process : net:Net.t -> cfg:config -> id:int -> client_id:int -> process
 (** Endpoint for process [id] (0-based, [< cfg.m]). *)
 
-val write : process -> Value.t -> unit
+val write : ?parent:Obs.Trace_ctx.span -> process -> Value.t -> unit
 (** mwmr_write(v): lines 01–08. Must run inside a fiber. *)
 
-val read : ?max_iterations:int -> process -> Value.t option
+val read :
+  ?parent:Obs.Trace_ctx.span -> ?max_iterations:int -> process -> Value.t option
 (** mwmr_read(): lines 09–16. Must run inside a fiber. *)
 
 val read_timestamped :
-  ?max_iterations:int -> process -> (Value.t * Epoch.t * int * int) option
+  ?parent:Obs.Trace_ctx.span ->
+  ?max_iterations:int ->
+  process ->
+  (Value.t * Epoch.t * int * int) option
 (** Like {!read} but exposing the returned value's full timestamp
     [(epoch, seq, writer-index)] for the atomicity checker. *)
 

@@ -59,7 +59,7 @@ let create ~engine ~params ?(medium = Reliable_fifo) ~link_delay () =
     recv_count = per_class_counters metrics ~dir:"recv" ~suffix:"count";
   }
 
-let record_send t ~src ~dst cls bytes =
+let record_send t ~src ~dst ~span cls bytes =
   let i = Obs.Event.class_index cls in
   incr t.sent_count.(i);
   (t.sent_bytes.(i) := !(t.sent_bytes.(i)) + bytes);
@@ -73,9 +73,10 @@ let record_send t ~src ~dst cls bytes =
            dst;
            cls;
            bytes;
+           span;
          })
 
-let record_recv t ~src ~dst cls bytes =
+let record_recv t ~src ~dst ~span cls bytes =
   incr t.recv_count.(Obs.Event.class_index cls);
   let hub = Sim.Engine.hub t.engine in
   if Obs.Hub.active hub then
@@ -87,6 +88,7 @@ let record_recv t ~src ~dst cls bytes =
            dst;
            cls;
            bytes;
+           span;
          })
 
 let engine t = t.engine
@@ -125,6 +127,7 @@ let add_client t ~id =
                   record_recv t
                     ~src:(Obs.Event.Server env.Messages.server)
                     ~dst:(Obs.Event.Client id)
+                    ~span:env.Messages.span
                     (Messages.class_of_to_client env.Messages.body)
                     (Messages.client_envelope_bytes env);
                   Sim.Mailbox.push mailbox env))
@@ -160,6 +163,7 @@ let add_client t ~id =
                   record_recv t
                     ~src:(Obs.Event.Server env.Messages.server)
                     ~dst:(Obs.Event.Client id)
+                    ~span:env.Messages.span
                     (Messages.class_of_to_client env.Messages.body)
                     (Messages.client_envelope_bytes env);
                   Sim.Mailbox.push mailbox env)
@@ -180,14 +184,18 @@ let add_client t ~id =
 let client_ports t =
   List.sort (fun (a, _) (b, _) -> Int.compare a b) t.ports
 
-let reply t ~server ~client body ~round =
+let reply ?(parent = Obs.Trace_ctx.none) t ~server ~client body ~round =
   match List.assoc_opt client t.ports with
   | None -> ()
   | Some port -> (
-    let env = { Messages.round; server; body } in
+    (* The acknowledgment is a new causal node under the broadcast round
+       it answers (or a fresh root for unsolicited Byzantine chatter). *)
+    let span = Obs.Trace_ctx.child (Sim.Engine.spans t.engine) parent in
+    let env = { Messages.round; server; body; span } in
     record_send t
       ~src:(Obs.Event.Server server)
       ~dst:(Obs.Event.Client client)
+      ~span
       (Messages.class_of_to_client body)
       (Messages.client_envelope_bytes env);
     match port.transport with
@@ -202,6 +210,7 @@ let install_honest_server t srv =
       record_recv t
         ~src:(Obs.Event.Client env.Messages.client)
         ~dst:(Obs.Event.Server s)
+        ~span:env.Messages.span
         (Messages.class_of_to_server env.Messages.body)
         (Messages.server_envelope_bytes env);
       Sim.Trace.emit_lazy
@@ -210,6 +219,19 @@ let install_honest_server t srv =
           Format.asprintf "s%d <- c%d (round %d, inst %d): %a" s
             env.Messages.client env.Messages.round env.Messages.inst
             Messages.pp_to_server env.Messages.body);
+      let hub = Sim.Engine.hub t.engine in
+      if Obs.Hub.active hub then
+        Obs.Hub.emit hub
+          (Obs.Event.Phase
+             {
+               time = Sim.Vtime.to_int (Sim.Engine.now t.engine);
+               server = s;
+               phase =
+                 "handle."
+                 ^ Obs.Event.class_name
+                     (Messages.class_of_to_server env.Messages.body);
+               span = env.Messages.span;
+             });
       match Server.handle srv env with
       | None -> ()
       | Some body ->
@@ -218,9 +240,10 @@ let install_honest_server t srv =
           ~time:(Sim.Engine.now t.engine) ~tag:"ack" (fun () ->
             Format.asprintf "s%d -> c%d: %a" s env.Messages.client
               Messages.pp_to_client body);
-        reply t ~server:s ~client:env.Messages.client body ~round:env.Messages.round)
+        reply ~parent:env.Messages.span t ~server:s ~client:env.Messages.client
+          body ~round:env.Messages.round)
 
-let ss_broadcast t port ~inst body =
+let ss_broadcast ?(span = Obs.Trace_ctx.none) t port ~inst body =
   Sim.Trace.incr (Sim.Engine.trace t.engine) "ss.broadcasts";
   port.round <- (port.round + 1) mod round_modulus;
   Sim.Trace.emit_lazy
@@ -228,15 +251,24 @@ let ss_broadcast t port ~inst body =
     ~time:(Sim.Engine.now t.engine) ~tag:"ss-broadcast" (fun () ->
       Format.asprintf "c%d (round %d, inst %d): %a" port.client_id port.round
         inst Messages.pp_to_server body);
+  (* One child span per broadcast round: every copy of the message, each
+     server's handling of it and each acknowledgment hang off it. *)
+  let bspan = Obs.Trace_ctx.child (Sim.Engine.spans t.engine) span in
   let env =
-    { Messages.round = port.round; client = port.client_id; inst; body }
+    {
+      Messages.round = port.round;
+      client = port.client_id;
+      inst;
+      body;
+      span = bspan;
+    }
   in
   let cls = Messages.class_of_to_server body in
   let env_bytes = Messages.server_envelope_bytes env in
   for s = 0 to t.params.Params.n - 1 do
     record_send t
       ~src:(Obs.Event.Client port.client_id)
-      ~dst:(Obs.Event.Server s) cls env_bytes
+      ~dst:(Obs.Event.Server s) ~span:bspan cls env_bytes
   done;
   (* Synchronized delivery: the invocation spans the first (n - 2t) correct
      deliveries.  If the adversary corrupts more than t servers (tightness

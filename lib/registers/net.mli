@@ -104,16 +104,35 @@ val add_client : t -> id:int -> client_port
 
 val client_ports : t -> (int * client_port) list
 
-val reply : t -> server:int -> client:int -> Messages.to_client -> round:int -> unit
+val reply :
+  ?parent:Obs.Trace_ctx.span ->
+  t ->
+  server:int ->
+  client:int ->
+  Messages.to_client ->
+  round:int ->
+  unit
 (** Send an acknowledgment from server [server] to client [client] on
-    their FIFO link (used by server deployments, honest or Byzantine). *)
+    their FIFO link (used by server deployments, honest or Byzantine).
+    The acknowledgment gets a fresh causal span, a child of [parent]
+    (normally the span of the request being answered; default
+    {!Obs.Trace_ctx.none}, which makes it a causal root — unsolicited
+    chatter). *)
 
 val install_honest_server : t -> Server.t -> unit
 (** Wire server slot [Server.id] to the honest automaton. *)
 
-val ss_broadcast : t -> client_port -> inst:int -> Messages.to_server -> int
+val ss_broadcast :
+  ?span:Obs.Trace_ctx.span ->
+  t ->
+  client_port ->
+  inst:int ->
+  Messages.to_server ->
+  int
 (** Blocking (fiber) ss-broadcast of one protocol message to all servers;
     bumps the trace counter ["ss.broadcasts"].  Returns the data-link round
     tag used, which the caller passes to {!Collect.acks} — capturing it at
     broadcast time keeps the matching correct even if a transient fault
-    corrupts the port's tag while the round trip is in flight. *)
+    corrupts the port's tag while the round trip is in flight.  The round
+    gets a fresh causal span, a child of [span] (normally the operation's
+    root span from [Instr.start]). *)

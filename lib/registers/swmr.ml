@@ -27,14 +27,15 @@ let reader ~net ~client_id ~base_inst ~reader_index
         ~reg:"swmr" `Read;
   }
 
-let write (w : writer) v =
-  let span = Instr.start w.probe in
-  Array.iter (fun c -> Swsr_atomic.write c v) w.copies;
+let write ?parent (w : writer) v =
+  let span = Instr.start ?parent w.probe in
+  let ctx = Instr.ctx span in
+  Array.iter (fun c -> Swsr_atomic.write ~parent:ctx c v) w.copies;
   Instr.finish w.probe span
 
-let read ?max_iterations (r : reader) =
-  let span = Instr.start r.probe in
-  let result = Swsr_atomic.read ?max_iterations r.sr in
+let read ?parent ?max_iterations (r : reader) =
+  let span = Instr.start ?parent r.probe in
+  let result = Swsr_atomic.read ~parent:(Instr.ctx span) ?max_iterations r.sr in
   Instr.finish ~ok:(result <> None) r.probe span;
   result
 

@@ -28,11 +28,12 @@ val reader :
   unit ->
   reader
 
-val write : writer -> Value.t -> unit
+val write : ?parent:Obs.Trace_ctx.span -> writer -> Value.t -> unit
 (** swmr_write(v): prac_at_write the value to every reader's copy, in
     reader-index order.  Must run inside a fiber. *)
 
-val read : ?max_iterations:int -> reader -> Value.t option
+val read :
+  ?parent:Obs.Trace_ctx.span -> ?max_iterations:int -> reader -> Value.t option
 (** swmr_read() by this reader: prac_at_read its own copy. *)
 
 val copies : writer -> Swsr_atomic.writer array

@@ -70,8 +70,9 @@ let reader ~net ~client_id ~base_inst ~reader_index ?(readers = 2)
     wb_writes = 0;
   }
 
-let write (w : writer) v =
-  let span = Instr.start w.probe in
+let write ?parent (w : writer) v =
+  let span = Instr.start ?parent w.probe in
+  let ctx = Instr.ctx span in
   (* One shared sequence number for all copies: re-impose it on each copy
      so that cross-copy comparisons stay meaningful even after transient
      faults desynchronized the per-copy counters. *)
@@ -80,7 +81,7 @@ let write (w : writer) v =
     (fun c ->
       Swsr_atomic.set_wsn c
         (Seqnum.norm ~modulus:w.modulus (w.shared_sn - 1));
-      Swsr_atomic.write c v)
+      Swsr_atomic.write ~parent:ctx c v)
     w.copies;
   Instr.finish w.probe span
 
@@ -91,9 +92,10 @@ let decode ~modulus = function
   | Value.Stamped { data; seq; _ } -> (Seqnum.norm ~modulus seq, data)
   | (Value.Bot | Value.Int _ | Value.Str _) as v -> (Seqnum.zero, v)
 
-let read ?max_iterations (r : reader) =
-  let span = Instr.start r.probe in
-  match Swsr_atomic.read ?max_iterations r.own with
+let read ?parent ?max_iterations (r : reader) =
+  let span = Instr.start ?parent r.probe in
+  let ctx = Instr.ctx span in
+  match Swsr_atomic.read ~parent:ctx ?max_iterations r.own with
   | None ->
     Instr.finish ~ok:false r.probe span;
     None
@@ -103,7 +105,7 @@ let read ?max_iterations (r : reader) =
       own
       :: (Array.to_list r.incoming
          |> List.filter_map (fun ex ->
-                match Swsr_atomic.read ?max_iterations ex with
+                match Swsr_atomic.read ~parent:ctx ?max_iterations ex with
                 | Some v -> Some (decode ~modulus:r.modulus v)
                 | None -> None))
     in
@@ -118,7 +120,7 @@ let read ?max_iterations (r : reader) =
     Array.iter
       (fun out ->
         r.wb_writes <- r.wb_writes + 1;
-        Swsr_atomic.write out (encode ~sn:best_sn best_v))
+        Swsr_atomic.write ~parent:ctx out (encode ~sn:best_sn best_v))
       r.outgoing;
     Instr.finish r.probe span;
     Some best_v

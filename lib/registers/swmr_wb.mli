@@ -44,11 +44,12 @@ val reader :
   reader
 (** [readers] (default 2) must match the writer's. *)
 
-val write : writer -> Value.t -> unit
+val write : ?parent:Obs.Trace_ctx.span -> writer -> Value.t -> unit
 (** Write the value to every reader's copy, all under one shared sequence
     number.  Must run inside a fiber. *)
 
-val read : ?max_iterations:int -> reader -> Value.t option
+val read :
+  ?parent:Obs.Trace_ctx.span -> ?max_iterations:int -> reader -> Value.t option
 (** Read with write-back.  Must run inside a fiber. *)
 
 val exchange_writes : reader -> int

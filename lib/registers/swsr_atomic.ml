@@ -56,23 +56,29 @@ let reader ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus)
   }
 
 (* prac_at_write(v): lines N1, 01M, 02-06. *)
-let write (w : writer) v =
-  let span = Instr.start w.probe in
+let write ?parent (w : writer) v =
+  let span = Instr.start ?parent w.probe in
+  let ctx = Instr.ctx span in
   w.wsn <- Seqnum.succ ~modulus:w.modulus w.wsn;
   let cell = { Messages.sn = w.wsn; v } in
-  let round = Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.Write cell) in
+  let round =
+    Net.ss_broadcast ~span:ctx w.net w.port ~inst:w.inst (Messages.Write cell)
+  in
   let helps = Collect.ack_writes ~net:w.net ~port:w.port ~round in
   let threshold = Params.help_refresh_threshold (Net.params w.net) in
   (match Quorum.find_help ~threshold helps with
   | Some _ -> ()
   | None ->
-    ignore (Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.New_help cell)));
+    ignore
+      (Net.ss_broadcast ~span:ctx w.net w.port ~inst:w.inst
+         (Messages.New_help cell)));
   Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops";
   Instr.finish w.probe span
 
 (* prac_at_read(): lines N2-N7 (sanity check) then 07-18 with 13M/15M. *)
-let read ?(max_iterations = max_int) (r : reader) =
-  let span = Instr.start r.probe in
+let read ?parent ?(max_iterations = max_int) (r : reader) =
+  let span = Instr.start ?parent r.probe in
+  let ctx = Instr.ctx span in
   let params = Net.params r.net in
   let threshold = Params.read_quorum params in
   let modulus = r.modulus in
@@ -80,7 +86,8 @@ let read ?(max_iterations = max_int) (r : reader) =
      of helping values.  READ(false) does not reset any helping_val. *)
   if r.sanity_check then begin
     let round =
-      Net.ss_broadcast r.net r.port ~inst:r.inst (Messages.Read false)
+      Net.ss_broadcast ~span:ctx r.net r.port ~inst:r.inst
+        (Messages.Read false)
     in
     let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in
     match Quorum.find_help ~threshold (List.map snd acks) with
@@ -98,7 +105,8 @@ let read ?(max_iterations = max_int) (r : reader) =
     else begin
       r.iterations <- r.iterations + 1;
       let round =
-        Net.ss_broadcast r.net r.port ~inst:r.inst (Messages.Read !new_read)
+        Net.ss_broadcast ~span:ctx r.net r.port ~inst:r.inst
+          (Messages.Read !new_read)
       in
       new_read := false;
       let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in

@@ -34,10 +34,11 @@ val reader :
     {e above} the writer's counter keeps returning its stale [pv] until the
     bounded counter wraps past the corruption. *)
 
-val write : writer -> Value.t -> unit
+val write : ?parent:Obs.Trace_ctx.span -> writer -> Value.t -> unit
 (** prac_at_write(v): lines N1, 01M, 02–06. Must run inside a fiber. *)
 
-val read : ?max_iterations:int -> reader -> Value.t option
+val read :
+  ?parent:Obs.Trace_ctx.span -> ?max_iterations:int -> reader -> Value.t option
 (** prac_at_read(): lines N2–N7, 07–18 with the 13M/15M modifications.
     Must run inside a fiber.  [None] only under a finite [max_iterations]
     budget exhausted (see {!Swsr_regular.read}). *)

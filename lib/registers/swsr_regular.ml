@@ -40,22 +40,28 @@ let reader ~net ~client_id ~inst =
 
 (* operation write(v): lines 01-06.  The regular register carries no
    sequence number, so cells use sn = 0 throughout. *)
-let write (w : writer) v =
-  let span = Instr.start w.probe in
+let write ?parent (w : writer) v =
+  let span = Instr.start ?parent w.probe in
+  let ctx = Instr.ctx span in
   let cell = { Messages.sn = Seqnum.zero; v } in
-  let round = Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.Write cell) in
+  let round =
+    Net.ss_broadcast ~span:ctx w.net w.port ~inst:w.inst (Messages.Write cell)
+  in
   let helps = Collect.ack_writes ~net:w.net ~port:w.port ~round in
   let threshold = Params.help_refresh_threshold (Net.params w.net) in
   (match Quorum.find_help ~threshold helps with
   | Some _ -> ()
   | None ->
-    ignore (Net.ss_broadcast w.net w.port ~inst:w.inst (Messages.New_help cell)));
+    ignore
+      (Net.ss_broadcast ~span:ctx w.net w.port ~inst:w.inst
+         (Messages.New_help cell)));
   Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops";
   Instr.finish w.probe span
 
 (* operation read(): lines 07-18. *)
-let read ?(max_iterations = max_int) (r : reader) =
-  let span = Instr.start r.probe in
+let read ?parent ?(max_iterations = max_int) (r : reader) =
+  let span = Instr.start ?parent r.probe in
+  let ctx = Instr.ctx span in
   let params = Net.params r.net in
   let threshold = Params.read_quorum params in
   let new_read = ref true in
@@ -64,7 +70,8 @@ let read ?(max_iterations = max_int) (r : reader) =
     else begin
       r.iterations <- r.iterations + 1;
       let round =
-        Net.ss_broadcast r.net r.port ~inst:r.inst (Messages.Read !new_read)
+        Net.ss_broadcast ~span:ctx r.net r.port ~inst:r.inst
+          (Messages.Read !new_read)
       in
       new_read := false;
       let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in

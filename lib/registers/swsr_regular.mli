@@ -20,10 +20,11 @@ val writer : net:Net.t -> client_id:int -> inst:int -> writer
 val reader : net:Net.t -> client_id:int -> inst:int -> reader
 (** The (unique) reader endpoint for register instance [inst]. *)
 
-val write : writer -> Value.t -> unit
+val write : ?parent:Obs.Trace_ctx.span -> writer -> Value.t -> unit
 (** REG.write(v), lines 01–06.  Must run inside a fiber. *)
 
-val read : ?max_iterations:int -> reader -> Value.t option
+val read :
+  ?parent:Obs.Trace_ctx.span -> ?max_iterations:int -> reader -> Value.t option
 (** REG.read(), lines 07–18.  Must run inside a fiber.  Returns [None] only
     if [max_iterations] (default unlimited) inquiry rounds all failed —
     the paper's loop is unbounded and provably terminates under the model

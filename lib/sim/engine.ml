@@ -28,6 +28,8 @@ let metrics t = Trace.metrics t.trace
 
 let hub t = Trace.hub t.trace
 
+let spans t = Trace.spans t.trace
+
 let schedule_at ?(label = "") t time action =
   let time = Vtime.max time t.clock in
   let seq = t.next_seq in

@@ -34,6 +34,9 @@ val metrics : t -> Obs.Metrics.t
 val hub : t -> Obs.Hub.t
 (** The typed-event hub of the engine's trace. *)
 
+val spans : t -> Obs.Trace_ctx.t
+(** The causal-span allocator of the engine's trace. *)
+
 val schedule : ?label:string -> t -> delay:Vtime.span -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t + max delay 0].  [label]
     tags the event for {!ready}; components use it to identify the

@@ -5,6 +5,7 @@ type t = {
   mutable events_rev : event list;
   metrics : Obs.Metrics.t;
   hub : Obs.Hub.t;
+  spans : Obs.Trace_ctx.t;
 }
 
 let create ?(record_events = true) ?metrics ?hub () =
@@ -12,11 +13,13 @@ let create ?(record_events = true) ?metrics ?hub () =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
   let hub = match hub with Some h -> h | None -> Obs.Hub.create () in
-  { record_events; events_rev = []; metrics; hub }
+  { record_events; events_rev = []; metrics; hub; spans = Obs.Trace_ctx.create () }
 
 let metrics t = t.metrics
 
 let hub t = t.hub
+
+let spans t = t.spans
 
 let emit t ~time ~tag detail =
   if t.record_events then t.events_rev <- { time; tag; detail } :: t.events_rev

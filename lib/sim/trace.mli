@@ -21,6 +21,11 @@ val metrics : t -> Obs.Metrics.t
 
 val hub : t -> Obs.Hub.t
 
+val spans : t -> Obs.Trace_ctx.t
+(** The run's causal-span allocator.  Ids are handed out whether or not
+    tracing sinks are attached, so span assignment never depends on
+    observability configuration. *)
+
 val emit : t -> time:Vtime.t -> tag:string -> string -> unit
 (** Record a string event (no-op when event recording is disabled). *)
 

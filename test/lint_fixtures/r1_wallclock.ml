@@ -1,0 +1,14 @@
+(* Fixture: wall-clock reads and real-time waits R1 must flag in
+   trace/profile modules, plus the sanctioned injected-clock shape it
+   must not.  Never compiled — only parsed. *)
+let cpu_split () = Unix.times ()
+
+let nap () = Unix.sleep 1
+
+let napf () = Unix.sleepf 0.5
+
+let wait fd = Unix.select [ fd ] [] [] 0.25
+
+let stamp () = Unix.gettimeofday ()
+
+let injected ?(clock = fun () -> 0.) () = clock ()

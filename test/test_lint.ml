@@ -29,6 +29,20 @@ let test_r1_fixture () =
     (rule_lines r);
   check_int "nothing suppressed" 0 r.Lint.Driver.suppressed
 
+(* Wall-clock and real-time-wait identifiers, pinned line by line: a
+   trace/profile module under lib/obs must not smuggle in real time.
+   The injected-clock shape on the last line is the sanctioned escape
+   hatch and must stay silent. *)
+let test_r1_wallclock_fixture () =
+  let r =
+    fixture ~rules:[ Lint.Rules.r1 ] ~display:"lib/obs/profile_bad.ml"
+      "r1_wallclock.ml"
+  in
+  finding_list "R1 wall-clock sites"
+    [ ("R1", 4); ("R1", 6); ("R1", 8); ("R1", 10); ("R1", 12) ]
+    (rule_lines r);
+  check_int "nothing suppressed" 0 r.Lint.Driver.suppressed
+
 let test_r2_fixture () =
   let r = fixture ~rules:[ Lint.Rules.r2 ]
       ~display:"lib/registers/r2_bad.ml" "tree/lib/registers/r2_bad.ml"
@@ -206,6 +220,7 @@ let test_self_lint_matches_baseline () =
 let tests =
   [
     case "R1 no-nondeterminism fixture" test_r1_fixture;
+    case "R1 wall-clock fixture (trace modules)" test_r1_wallclock_fixture;
     case "R2 no-polymorphic-compare fixture" test_r2_fixture;
     case "R3 no-wildcard-message-match fixture" test_r3_fixture;
     case "R4 no-partial-functions fixture" test_r4_fixture;

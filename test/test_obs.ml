@@ -41,6 +41,41 @@ let test_json_parse_errors () =
   check_true "trailing junk" (Result.is_error (Obs.Json.parse "1 2"));
   check_true "ok" (Obs.Json.parse "{\"a\": [1, 2]}" |> Result.is_ok)
 
+(* Trace files carry protocol payload fragments and user-chosen labels
+   verbatim; the escaper must keep every byte round-trippable. *)
+let test_json_string_escaping () =
+  (* Named control characters render as their short escapes... *)
+  Alcotest.(check string)
+    "named escapes" "\"\\t\\n\\r\""
+    (Obs.Json.to_string (Obs.Json.Str "\t\n\r"));
+  (* ...the rest of C0 as \u twiddles, lowercase, zero-padded. *)
+  Alcotest.(check string)
+    "C0 escapes" "\"\\u0000\\u0001\\u001f\""
+    (Obs.Json.to_string (Obs.Json.Str "\x00\x01\x1f"));
+  Alcotest.(check string)
+    "backslash before escape char" "\"a\\\\n\""
+    (Obs.Json.to_string (Obs.Json.Str "a\\n"));
+  (* Every C0 byte, plus quote and backslash, survives a round trip. *)
+  let hostile =
+    String.init 0x22 (fun i ->
+        if i = 0x20 then '"' else if i = 0x21 then '\\' else Char.chr i)
+  in
+  check_true "control-character round trip"
+    (Obs.Json.parse_exn (Obs.Json.to_string (Obs.Json.Str hostile))
+    = Obs.Json.Str hostile);
+  (* Multi-byte UTF-8 passes through byte-for-byte, unescaped. *)
+  let utf8 = "r\xc3\xa9gulier \xe2\x9c\x93" in
+  Alcotest.(check string)
+    "utf-8 passthrough"
+    ("\"" ^ utf8 ^ "\"")
+    (Obs.Json.to_string (Obs.Json.Str utf8));
+  check_true "utf-8 round trip"
+    (Obs.Json.parse_exn (Obs.Json.to_string (Obs.Json.Str utf8))
+    = Obs.Json.Str utf8);
+  (* The parser accepts \u escapes our writer never emits. *)
+  check_true "parser reads latin-1 \\u escapes"
+    (Obs.Json.parse_exn "\"\\u00e9\"" = Obs.Json.Str "\xe9")
+
 (* --- Report schema --- *)
 
 let mk_report () =
@@ -54,8 +89,10 @@ let mk_report () =
       mean = 12.0;
       min = 4.0;
       p50 = 11.0;
+      p90 = 18.0;
       p95 = 20.0;
       p99 = 22.0;
+      p999 = 22.0;
       max = 22.0;
     };
   Obs.Report.set_stabilization r 120;
@@ -281,6 +318,7 @@ let tests =
     case "json round trip" test_json_round_trip;
     case "json int/float distinction" test_json_int_float_distinction;
     case "json parse errors" test_json_parse_errors;
+    case "json string escaping edge cases" test_json_string_escaping;
     case "report validates" test_report_validates;
     case "report write + reparse" test_report_write_and_reparse;
     case "report rejects malformed" test_report_rejects;

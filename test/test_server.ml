@@ -2,7 +2,7 @@ open Util
 open Registers
 
 let env ?(round = 1) ?(client = 0) ?(inst = 0) body =
-  { Messages.round; client; inst; body }
+  { Messages.round; client; inst; body; span = Obs.Trace_ctx.none }
 
 let cell sn v = { Messages.sn; v = Value.int v }
 

@@ -12,8 +12,9 @@ open Registers
 
 (* A persistent deployment; each staged run drives one (or a few)
    operations through the live engine. *)
-let deployment ?(n = 9) ?(f = 1) ?(mode = Params.Async) ?medium () =
-  let params = Params.create_unchecked ~n ~f ~mode in
+let full_deployment ?(n = 9) ?(f = 1) ?(mode = Params.Async) ?medium ?retry
+    () =
+  let params = Params.create_unchecked ?retry ~n ~f ~mode () in
   let rng = Sim.Rng.create 99 in
   let trace = Sim.Trace.create ~record_events:false () in
   let engine = Sim.Engine.create ~trace ~rng:(Sim.Rng.split rng) () in
@@ -28,7 +29,10 @@ let deployment ?(n = 9) ?(f = 1) ?(mode = Params.Async) ?medium () =
       ()
   in
   let adversary = Byzantine.Adversary.deploy ~net ~rng:(Sim.Rng.split rng) in
-  ignore adversary;
+  (engine, net, adversary)
+
+let deployment ?n ?f ?mode ?medium ?retry () =
+  let engine, net, _ = full_deployment ?n ?f ?mode ?medium ?retry () in
   (engine, net)
 
 let run_op engine f =
@@ -94,6 +98,44 @@ let swsr_atomic_ops ?(n = 9) ?(f = 1) ?(mode = Params.Async) ?medium () () =
     run_op engine (fun () ->
         Swsr_atomic.write w (Value.int !k);
         ignore (Swsr_atomic.read r))
+
+(* The deadline/health layer with no faults: every first attempt
+   completes, so the ns/op delta against the plain swsr-regular row is
+   the whole overhead of deadline-armed waits plus health bookkeeping. *)
+let swsr_regular_retry_ops ?(n = 9) ?(f = 1) () () =
+  let engine, net = deployment ~retry:Params.default_retry ~n ~f () in
+  let w = Swsr_regular.writer ~net ~client_id:1 ~inst:0 in
+  let r = Swsr_regular.reader ~net ~client_id:2 ~inst:0 in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        (match Swsr_regular.write_o w (Value.int !k) with
+        | Outcome.Ok () -> ()
+        | Outcome.Degraded _ | Outcome.Timed_out _ ->
+          failwith "no-fault bench degraded");
+        ignore (Swsr_regular.read_o r))
+
+(* The degraded path itself: 4 of 9 slots crashed (beyond the f = 1
+   bound), so every write burns the full retry budget and reports
+   Degraded.  The row is the op latency a client pays for graceful
+   degradation instead of a hang. *)
+let swsr_regular_degraded_ops ?(n = 9) ?(f = 1) () () =
+  let engine, net, adversary =
+    full_deployment ~retry:Params.default_retry ~n ~f ()
+  in
+  for i = 0 to 3 do
+    Byzantine.Adversary.crash adversary i
+  done;
+  let w = Swsr_regular.writer ~net ~client_id:1 ~inst:0 in
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    run_op engine (fun () ->
+        match Swsr_regular.write_o w (Value.int !k) with
+        | Outcome.Degraded _ -> ()
+        | Outcome.Ok () | Outcome.Timed_out _ ->
+          failwith "crash-burst bench expected Degraded")
 
 let swmr_ops () =
   let engine, net = deployment () in
@@ -287,6 +329,11 @@ let tests =
         (swsr_regular_ops ());
       bench_register ~name:"swsr-regular: write+read (n=25)"
         (swsr_regular_ops ~n:25 ~f:3 ());
+      bench_register ~name:"swsr-regular+retry: write+read (no faults, n=9)"
+        (swsr_regular_retry_ops ());
+      bench_register
+        ~name:"swsr-regular degraded: write (4 of 9 slots down)"
+        (swsr_regular_degraded_ops ());
       bench_register ~name:"swsr-atomic: write+read (n=9)"
         (swsr_atomic_ops ());
       bench_register ~name:"swsr-atomic: write+read (n=17)"
@@ -358,14 +405,15 @@ let () =
   in
   Printf.printf "\n%-52s %8.2f trials/s (%d ops in %.2fs)\n" chaos_name tps
     chaos_ops chaos_dt;
-  (* Machine-readable companion: v2 keeps every v1 section (mc rows gain
-     replay columns additively) and adds the parallel-portfolio and
-     chaos-campaign sections.  Written to a new file so the committed
-     BENCH_1.json stays a fixed point of the single-threaded era. *)
+  (* Machine-readable companion: v3 keeps every v2 section and adds the
+     retry-layer rows (no-fault overhead, degraded-path latency) to the
+     bechamel section additively.  Written to a new file so the
+     committed BENCH_1.json / BENCH_2.json stay fixed points of their
+     eras. *)
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.Str "stabreg/bench/v2");
+        ("schema", Obs.Json.Str "stabreg/bench/v3");
         ( "rows",
           Obs.Json.List
             (List.map
@@ -423,8 +471,8 @@ let () =
             ] );
       ]
   in
-  let oc = open_out "BENCH_2.json" in
+  let oc = open_out "BENCH_3.json" in
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nrows written to BENCH_2.json\n"
+  Printf.printf "\nrows written to BENCH_3.json\n"

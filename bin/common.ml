@@ -2,7 +2,7 @@
 
 open Registers
 
-let async_params ~n ~f = Params.create_unchecked ~n ~f ~mode:Params.Async
+let async_params ~n ~f = Params.create_unchecked ~n ~f ~mode:Params.Async ()
 
 (* --- run reports and trace sinks (--json / --trace-out) --- *)
 
@@ -125,20 +125,15 @@ let scenario ?(seed = 1) ?delay ?medium ~params () =
   attach_trace_sink (Harness.Scenario.hub scn);
   scn
 
-(* Spawn jobs, run the engine, fail loudly if a fiber wedged. *)
+(* Spawn jobs, run the engine, and let the watchdog turn any silent hang
+   into a diagnosed deadlock listing each wedged fiber's suspension
+   point. *)
 let run_jobs scn jobs =
   let handles =
     List.map (fun (name, f) -> (name, Sim.Fiber.spawn ~name f)) jobs
   in
   Harness.Scenario.run scn;
-  List.iter
-    (fun (name, h) ->
-      match Sim.Fiber.status h with
-      | Sim.Fiber.Done -> ()
-      | Sim.Fiber.Running ->
-        failwith (Printf.sprintf "experiment fiber %s did not finish" name)
-      | Sim.Fiber.Failed e -> raise e)
-    handles
+  Harness.Scenario.check_jobs handles
 
 let value_str = function
   | Some v -> Value.to_string v

@@ -12,7 +12,7 @@ let run ~seed:_ =
     in
     Common.observe_trace
       ~params:
-        (Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async)
+        (Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async ())
       o.Harness.Fig1.trace;
     [
       label;

@@ -1,0 +1,153 @@
+(* RECOVERY: crash-recovery bursts, client degradation, and the
+   stabilization-time oracle.
+
+     dune exec bin/experiments.exe -- recovery
+     dune exec bin/experiments.exe -- recovery --n 9 --bursts 3 --out results/recovery
+     dune exec bin/experiments.exe -- recovery --replay examples/recovery/....json
+*)
+
+open Chaos
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let parent = Filename.dirname path in
+  if parent <> "" && parent <> "." then Obs.Report.mkdir_p parent;
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
+
+let artifact_path ~out ~n ~seed =
+  Filename.concat out (Printf.sprintf "recovery-n%d-seed%d.json" n seed)
+
+let pp_tally fmt (t : Recovery.tally) =
+  Format.fprintf fmt "%d ok / %d degraded / %d timed out" t.Recovery.ok
+    t.Recovery.degraded t.Recovery.timed_out
+
+let print_report (r : Recovery.report) =
+  let cfg = r.Recovery.config in
+  Printf.printf
+    "n=%d t=%d: %d burst(s) x %d slot(s), down %d ticks, every %d ticks\n"
+    cfg.Recovery.n cfg.Recovery.f cfg.Recovery.bursts cfg.Recovery.crashed
+    cfg.Recovery.down_for cfg.Recovery.gap;
+  List.iter
+    (fun b -> Format.printf "  %a@." Recovery.pp_burst b)
+    r.Recovery.bursts;
+  Format.printf "  writes: %a@." pp_tally r.Recovery.write_ops;
+  Format.printf "  reads:  %a@." pp_tally r.Recovery.read_ops;
+  (match r.Recovery.stuck with
+  | [] -> ()
+  | stuck ->
+    Printf.printf "  STUCK fibers: %s\n" (String.concat "; " stuck));
+  Printf.printf "  duration: %d ticks, converged: %b\n" r.Recovery.duration
+    r.Recovery.converged
+
+let report_json ~n (r : Recovery.report) path =
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int n);
+      ("converged", Obs.Json.Bool r.Recovery.converged);
+      ( "stab_times",
+        Obs.Json.List
+          (List.map
+             (fun (b : Recovery.burst_report) ->
+               match b.Recovery.stab_time with
+               | Some t -> Obs.Json.Int t
+               | None -> Obs.Json.Null)
+             r.Recovery.bursts) );
+      ("stuck", Obs.Json.Int (List.length r.Recovery.stuck));
+      ("artifact", Obs.Json.Str path);
+    ]
+
+(* Run the convergence sweep; returns the ns that failed to converge (or
+   got stuck), for the caller's exit-status logic. *)
+let run ~ns ~bursts ~crashed ~down_for ~retry ~seed ~out () =
+  Printf.printf
+    "recovery sweep: n=[%s] bursts=%d crashed=%d down_for=%d retry=%b \
+     seed=%d\n\n"
+    (String.concat "; " (List.map string_of_int ns))
+    bursts crashed down_for retry seed;
+  let first = ref true in
+  let on_scenario scn =
+    if !first then begin
+      first := false;
+      Common.attach_trace_sink (Harness.Scenario.hub scn);
+      Common.observe_scn scn
+    end
+  in
+  let results =
+    List.map
+      (fun n ->
+        let cfg =
+          {
+            Recovery.default_config with
+            Recovery.n;
+            bursts;
+            crashed;
+            down_for;
+            retry;
+          }
+        in
+        let r = Recovery.run ~on_scenario cfg ~seed in
+        print_report r;
+        let path = artifact_path ~out ~n ~seed in
+        write_file path (Obs.Json.to_string_pretty (Recovery.to_json r));
+        Printf.printf "  artifact: %s\n\n" path;
+        (n, r, path))
+      ns
+  in
+  Common.add_extra "recovery"
+    (Obs.Json.Obj
+       [
+         ("seed", Obs.Json.Int seed);
+         ("bursts", Obs.Json.Int bursts);
+         ("crashed", Obs.Json.Int crashed);
+         ("down_for", Obs.Json.Int down_for);
+         ("retry", Obs.Json.Bool retry);
+         ( "runs",
+           Obs.Json.List
+             (List.map (fun (n, r, path) -> report_json ~n r path) results)
+         );
+       ]);
+  List.filter_map
+    (fun (n, r, _) ->
+      if r.Recovery.converged && r.Recovery.stuck = [] then None else Some n)
+    results
+
+(* Replay a committed stabreg/recovery/v1 artifact; Ok only when the
+   re-execution reproduces the recorded report bit-for-bit. *)
+let replay path =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> Error (Printf.sprintf "%s: parse error: %s" path e)
+  | Ok j -> (
+    match Recovery.of_json j with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok recorded ->
+      let on_scenario scn =
+        Common.attach_trace_sink (Harness.Scenario.hub scn);
+        Common.observe_scn scn
+      in
+      let replayed = Recovery.replay ~on_scenario recorded in
+      Printf.printf "recorded:\n";
+      print_report recorded;
+      Printf.printf "replayed:\n";
+      print_report replayed;
+      let same = Recovery.matches recorded replayed in
+      Common.add_extra "recovery_replay"
+        (Obs.Json.Obj
+           [
+             ("artifact", Obs.Json.Str path);
+             ("identical", Obs.Json.Bool same);
+             ("converged", Obs.Json.Bool replayed.Recovery.converged);
+           ]);
+      if same then begin
+        Printf.printf "replay reproduced the recorded report bit-for-bit\n";
+        Ok ()
+      end
+      else Error "replay did NOT reproduce the recorded report")

@@ -127,6 +127,10 @@ let validate_cmd =
         Result.map
           (fun (_ : Chaos.Campaign.repro) -> Chaos.Campaign.repro_schema)
           (Chaos.Campaign.repro_of_json j)
+      | Some s when Obs.Json.to_string_opt s = Some Chaos.Recovery.schema ->
+        Result.map
+          (fun (_ : Chaos.Recovery.report) -> Chaos.Recovery.schema)
+          (Chaos.Recovery.of_json j)
       | Some s ->
         Error
           (Printf.sprintf "unknown schema %s"
@@ -201,7 +205,7 @@ let trace_cmd =
   let trace seed out chrome =
     let fault_at = 300 in
     let params =
-      Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async
+      Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async ()
     in
     let scn = Harness.Scenario.create ~seed ~params () in
     let mem, recorded = Obs.Sink.memory () in
@@ -572,12 +576,17 @@ let mc_cmd =
         | Some client, Some round ->
           Ok (Mc.Config.Corrupt_round { client; round })
         | _ -> Error (`Msg "round:<client>:<round> wants integers"))
+      | [ "crashrec"; i ] -> (
+        match int_of_string_opt i with
+        | Some server -> Ok (Mc.Config.Crash_recover { server })
+        | None -> Error (`Msg "crashrec:<i> wants an integer"))
       | _ ->
         Error
           (`Msg
              (Printf.sprintf
                 "unknown corruption %S (server:<i>:<sn>:<v>, \
-                 reader:<pwsn>:<v>, writer:<sn>, round:<client>:<round>)"
+                 reader:<pwsn>:<v>, writer:<sn>, round:<client>:<round>, \
+                 crashrec:<i>)"
                 s))
     in
     Arg.conv
@@ -591,7 +600,9 @@ let mc_cmd =
               Printf.sprintf "reader:%d:%d" pwsn v
             | Mc.Config.Corrupt_writer_sn sn -> Printf.sprintf "writer:%d" sn
             | Mc.Config.Corrupt_round { client; round } ->
-              Printf.sprintf "round:%d:%d" client round) )
+              Printf.sprintf "round:%d:%d" client round
+            | Mc.Config.Crash_recover { server } ->
+              Printf.sprintf "crashrec:%d" server) )
   in
   let family_arg =
     let doc =
@@ -642,9 +653,10 @@ let mc_cmd =
   let corrupt_arg =
     let doc =
       "Add one transient-corruption choice to the menu (repeatable): \
-       $(b,server:<i>:<sn>:<v>), $(b,reader:<pwsn>:<v>), $(b,writer:<sn>) \
-       or $(b,round:<client>:<round>).  The explorer fires each menu item \
-       at most once per execution, at every possible point."
+       $(b,server:<i>:<sn>:<v>), $(b,reader:<pwsn>:<v>), $(b,writer:<sn>), \
+       $(b,round:<client>:<round>) or $(b,crashrec:<i>) (crash-recovery: \
+       the server rejoins with wiped state).  The explorer fires each menu \
+       item at most once per execution, at every possible point."
     in
     Arg.(value & opt_all corrupt_conv [] & info [ "corrupt" ] ~docv:"SPEC" ~doc)
   in
@@ -884,6 +896,111 @@ let mc_cmd =
        $ seed_arg $ json_arg $ trace_out_arg $ profile_arg
        $ profile_every_arg))
 
+let recovery_cmd =
+  let n_arg =
+    let doc =
+      "Run a single system size instead of the default convergence sweep \
+       over n = 6..9."
+    in
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let bursts_arg =
+    let doc = "Number of crash-recovery bursts." in
+    Arg.(
+      value
+      & opt int Chaos.Recovery.default_config.Chaos.Recovery.bursts
+      & info [ "bursts" ] ~docv:"K" ~doc)
+  in
+  let crashed_arg =
+    let doc = "Server slots crashed per burst (rotating)." in
+    Arg.(
+      value
+      & opt int Chaos.Recovery.default_config.Chaos.Recovery.crashed
+      & info [ "crashed" ] ~docv:"K" ~doc)
+  in
+  let down_arg =
+    let doc =
+      "Down window per crashed slot, in ticks; the slot rejoins over \
+       arbitrary volatile state."
+    in
+    Arg.(
+      value
+      & opt int Chaos.Recovery.default_config.Chaos.Recovery.down_for
+      & info [ "down-for" ] ~docv:"TICKS" ~doc)
+  in
+  let no_retry_arg =
+    let doc =
+      "Disable the client deadline/retry layer (operations may report \
+       $(b,degraded) much more often; reads still honor their iteration \
+       budget)."
+    in
+    Arg.(value & flag & info [ "no-retry" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Directory for stabreg/recovery/v1 artifacts." in
+    Arg.(
+      value & opt string "results/recovery" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-execute a stabreg/recovery/v1 artifact instead of running a \
+       sweep; fails unless the replay reproduces the recorded report \
+       bit-for-bit."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let expect_arg =
+    let doc =
+      "Fail (exit non-zero) unless every size in the sweep converged (its \
+       last burst stabilized) with no stuck fibers."
+    in
+    Arg.(value & flag & info [ "expect-converged" ] ~doc)
+  in
+  let recovery n bursts crashed down_for no_retry out replay expect seed json
+      trace =
+    Exp_drivers.Common.json_dir := json;
+    Exp_drivers.Common.trace_out := trace;
+    let status = ref (`Ok ()) in
+    (match replay with
+    | Some path ->
+      Exp_drivers.Common.with_report ~exp:"RECOVERY-replay" ~seed (fun () ->
+          match Exp_drivers.Exp_recovery.replay path with
+          | Ok () -> ()
+          | Error e -> status := `Error (false, e))
+    | None ->
+      Exp_drivers.Common.with_report ~exp:"RECOVERY" ~seed (fun () ->
+          let ns =
+            match n with Some n -> [ n ] | None -> [ 6; 7; 8; 9 ]
+          in
+          let failed =
+            Exp_drivers.Exp_recovery.run ~ns ~bursts ~crashed ~down_for
+              ~retry:(not no_retry) ~seed ~out ()
+          in
+          if expect && failed <> [] then
+            status :=
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "expected convergence at every size, failed at n=[%s]"
+                    (String.concat "; " (List.map string_of_int failed)) )));
+    Exp_drivers.Common.close_trace ();
+    !status
+  in
+  let doc =
+    "Sweep crash-recovery bursts over system sizes n=6..9: rotating server \
+     slots crash and rejoin over arbitrary state while a writer/reader \
+     pair operates through the typed-outcome API, and the \
+     stabilization-time oracle certifies per-burst convergence.  Writes a \
+     replayable stabreg/recovery/v1 artifact per size."
+  in
+  Cmd.v
+    (Cmd.info "recovery" ~doc)
+    Term.(
+      ret
+        (const recovery $ n_arg $ bursts_arg $ crashed_arg $ down_arg
+       $ no_retry_arg $ out_arg $ replay_arg $ expect_arg $ seed_arg
+       $ json_arg $ trace_out_arg))
+
 let list_cmd =
   let list () =
     List.iter (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc) all
@@ -898,6 +1015,9 @@ let main =
   in
   Cmd.group
     (Cmd.info "stabreg-experiments" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; trace_cmd; validate_cmd; chaos_cmd; mc_cmd ]
+    [
+      run_cmd; list_cmd; trace_cmd; validate_cmd; chaos_cmd; mc_cmd;
+      recovery_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

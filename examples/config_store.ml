@@ -13,7 +13,7 @@ open Registers
 let feed = [| "timeout=30"; "timeout=45"; "replicas=5"; "tls=on"; "tls=off" |]
 
 let () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:7 ~params () in
   Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 5
     Byzantine.Behavior.equivocate;

@@ -11,7 +11,7 @@
 open Registers
 
 let () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:21 ~params () in
   Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 7
     Byzantine.Behavior.equivocate;

@@ -11,7 +11,7 @@ open Registers
 
 let () =
   (* A deployment: 9 servers, at most 1 Byzantine, asynchronous links. *)
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:42 ~params () in
 
   (* Make server 3 Byzantine: it answers every request with random junk. *)

@@ -12,7 +12,7 @@
 open Registers
 
 let () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:11 ~params () in
   let net = scn.Harness.Scenario.net in
   let w = Swsr_atomic.writer ~net ~client_id:1 ~inst:0 ~modulus:101 () in

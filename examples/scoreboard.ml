@@ -11,7 +11,7 @@
 open Registers
 
 let () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:3 ~params () in
   let m = 4 in
   let cfg = { (Mwmr.default_config ~m) with seq_bound = 8 } in

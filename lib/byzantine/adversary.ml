@@ -54,6 +54,23 @@ let restore t i =
   install_honest t i;
   sync_correct t
 
+(* Crash faults occupy a fault slot like Byzantine ones: a crashed server
+   is not correct, so it leaves the ss-broadcast correct set and the
+   synchronized-delivery target shrinks accordingly. *)
+let crash t i =
+  mark t "crash" i;
+  if not (List.mem i t.byz) then t.byz <- i :: t.byz;
+  (Net.endpoints t.net).(i).Net.on_deliver <- (fun _ -> ());
+  sync_correct t
+
+let recover ?(wipe = `Arbitrary) ?rng t i =
+  mark t "recover" i;
+  t.byz <- List.filter (fun j -> j <> i) t.byz;
+  Behavior.apply_wipe wipe t.servers.(i)
+    (match rng with Some r -> r | None -> t.rng);
+  install_honest t i;
+  sync_correct t
+
 let byzantine_ids t = List.sort Int.compare t.byz
 
 let compromise_first t ~count mk =

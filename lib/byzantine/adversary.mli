@@ -31,6 +31,17 @@ val restore : t -> int -> unit
 (** Mobile hand-back: slot [i] resumes the honest automaton over
     arbitrary (freshly corrupted) state. *)
 
+val crash : t -> int -> unit
+(** Crash-stop slot [i]: it drops every delivery and leaves the correct
+    set (crash faults occupy fault slots like Byzantine ones).  A later
+    {!recover} turns the episode into a crash-recovery fault. *)
+
+val recover : ?wipe:Behavior.wipe -> ?rng:Sim.Rng.t -> t -> int -> unit
+(** Bring slot [i] back as the honest automaton over state rewritten per
+    [wipe] (default [`Arbitrary], drawn from [rng] when given so the
+    rejoin state can be pinned by a fault plan rather than the adversary's
+    stream). *)
+
 val byzantine_ids : t -> int list
 (** Currently compromised slots, ascending. *)
 

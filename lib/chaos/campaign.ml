@@ -40,6 +40,8 @@ type config = {
   roam_max : int;
   windows : int;
   window_max : int;
+  crashes : int;
+  crash_down : int;
 }
 
 let default_config ~family =
@@ -59,6 +61,8 @@ let default_config ~family =
     roam_max = 1;
     windows = 2;
     window_max = 400;
+    crashes = 0;
+    crash_down = 250;
   }
 
 type verdict =
@@ -136,6 +140,18 @@ let gen_window cfg rng =
     let dup = Sim.Rng.float rng 0.5 in
     Schedule.Window { at; duration; loss; dup; dir; server = None }
 
+let gen_crash cfg rng =
+  let at = Sim.Rng.int_in rng 1 cfg.horizon in
+  let server = Sim.Rng.int rng cfg.n in
+  (* Mostly crash-recovery (the interesting transient-by-construction
+     case); one in four is crash-stop. *)
+  let down_for =
+    if cfg.crash_down > 0 && Sim.Rng.int rng 4 > 0 then
+      Some (Sim.Rng.int_in rng 1 cfg.crash_down)
+    else None
+  in
+  Schedule.Crash { at; server; down_for }
+
 let generate cfg ~seed =
   let rng = gen_rng seed in
   let injections =
@@ -149,7 +165,11 @@ let generate cfg ~seed =
     | Fifo -> []
     | Lossy -> List.init cfg.windows (fun _ -> gen_window cfg rng)
   in
-  Schedule.sort (injections @ roams @ windows)
+  (* Crashes are drawn last so configs without them ([crashes = 0], every
+     pre-existing campaign) consume the generation stream exactly as
+     before — committed seeds keep their schedules. *)
+  let crashes = List.init cfg.crashes (fun _ -> gen_crash cfg rng) in
+  Schedule.sort (injections @ roams @ windows @ crashes)
 
 (* ------------------------------------------------------------------ *)
 (* Trial execution                                                    *)
@@ -186,6 +206,11 @@ let apply_event scn = function
     Sim.Engine.schedule_at scn.Harness.Scenario.engine
       (Sim.Vtime.of_int (at + duration))
       (fun () -> set ~loss:base_loss ~dup:base_dup)
+  | Schedule.Crash { at; server; down_for } ->
+    Sim.Fault.schedule_crash scn.Harness.Scenario.fault
+      ~engine:scn.Harness.Scenario.engine ~at:(Sim.Vtime.of_int at) ?down_for
+      ~prefix:(Printf.sprintf "server.%d" server)
+      ()
 
 (* Jobs for one trial: (fiber name, body) pairs. *)
 let deploy_jobs cfg scn =
@@ -377,7 +402,7 @@ let medium_of cfg =
 let run_trial ?on_scenario cfg ~seed schedule =
   let params =
     Registers.Params.create_unchecked ~n:cfg.n ~f:cfg.f
-      ~mode:Registers.Params.Async
+      ~mode:Registers.Params.Async ()
   in
   let scn =
     Harness.Scenario.create ~seed ~medium:(medium_of cfg) ~params ()
@@ -567,6 +592,8 @@ let config_to_json c =
       ("roam_max", Obs.Json.Int c.roam_max);
       ("windows", Obs.Json.Int c.windows);
       ("window_max", Obs.Json.Int c.window_max);
+      ("crashes", Obs.Json.Int c.crashes);
+      ("crash_down", Obs.Json.Int c.crash_down);
     ]
 
 let verdict_to_json = function
@@ -648,6 +675,15 @@ let config_of_json j =
   let* roam_max = int_field ctx "roam_max" j in
   let* windows = int_field ctx "windows" j in
   let* window_max = int_field ctx "window_max" j in
+  (* Crash fields postdate the v1 schema; artifacts written before them
+     parse with the (inert) defaults. *)
+  let opt_int key default =
+    match Obs.Json.member key j with
+    | None | Some Obs.Json.Null -> Ok default
+    | Some v -> as_int (ctx ^ "." ^ key) v
+  in
+  let* crashes = opt_int "crashes" 0 in
+  let* crash_down = opt_int "crash_down" 250 in
   Ok
     {
       family;
@@ -665,6 +701,8 @@ let config_of_json j =
       roam_max;
       windows;
       window_max;
+      crashes;
+      crash_down;
     }
 
 let verdict_of_json j =

@@ -46,12 +46,17 @@ type config = {
   roam_max : int;  (** slots per roam (clamped to [f] at generation) *)
   windows : int;  (** link-chaos windows per schedule (Lossy only) *)
   window_max : int;  (** maximum window duration, in ticks *)
+  crashes : int;  (** crash events per schedule *)
+  crash_down : int;
+      (** maximum crash-recovery down window; most generated crashes
+          recover within it, the rest are crash-stop *)
 }
 
 val default_config : family:family -> config
 (** [n = 9], [f = 1], [Fifo], one initial garbage compromise, 60 writes /
     45 reads with budget 64, horizon 3000, 3 injections, 2 roams of 1
-    slot, 2 windows of up to 400 ticks (inert under [Fifo]). *)
+    slot, 2 windows of up to 400 ticks (inert under [Fifo]), no crashes
+    ([crashes = 0], [crash_down = 250]). *)
 
 type verdict =
   | Clean
@@ -80,6 +85,20 @@ val generate : config -> seed:int -> Schedule.t
     with strategies from {!Strategy.default_pool}; windows get random
     placement, duration, spike rates, direction and optional target
     server. *)
+
+val apply_event : Harness.Scenario.t -> Schedule.event -> unit
+(** Arm one schedule event on a deployed scenario (before the engine
+    runs): injections and crashes through the scenario's fault plan, roams
+    and windows through engine-scheduled callbacks. *)
+
+val sub_history : Oracles.History.t -> lo:int -> hi:int -> Oracles.History.t
+(** Segment slice for the oracles: reads invoked in [\[lo, hi)], all
+    writes kept (a write before the segment still determines what reads
+    inside it may return). *)
+
+val cutoff_from : Oracles.History.t -> lo:int -> Sim.Vtime.t option
+(** Response instant of the first write invoked at or after [lo] — the
+    segment's stabilization cutoff; [None] when no write lands there. *)
 
 val run_trial :
   ?on_scenario:(Harness.Scenario.t -> unit) ->

@@ -11,11 +11,13 @@ type event =
       dir : direction;
       server : int option;
     }
+  | Crash of { at : int; server : int; down_for : int option }
 
 type t = event list
 
 let time = function
-  | Inject { at; _ } | Roam { at; _ } | Window { at; _ } -> at
+  | Inject { at; _ } | Roam { at; _ } | Window { at; _ } | Crash { at; _ } ->
+    at
 
 let sort events =
   List.stable_sort (fun a b -> Int.compare (time a) (time b)) events
@@ -24,7 +26,9 @@ let disturbance_points events =
   events
   |> List.concat_map (function
        | Inject { at; _ } | Roam { at; _ } -> [ at ]
-       | Window { at; duration; _ } -> [ at; at + duration ])
+       | Window { at; duration; _ } -> [ at; at + duration ]
+       | Crash { at; down_for = None; _ } -> [ at ]
+       | Crash { at; down_for = Some d; _ } -> [ at; at + d ])
   |> List.sort_uniq Int.compare
 
 let direction_to_string = function
@@ -74,6 +78,17 @@ let event_to_json = function
         ( "server",
           match server with
           | Some s -> Obs.Json.Int s
+          | None -> Obs.Json.Null );
+      ]
+  | Crash { at; server; down_for } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "crash");
+        ("at", Obs.Json.Int at);
+        ("server", Obs.Json.Int server);
+        ( "down_for",
+          match down_for with
+          | Some d -> Obs.Json.Int d
           | None -> Obs.Json.Null );
       ]
 
@@ -149,6 +164,17 @@ let event_of_json j =
         Ok (Some s)
     in
     Ok (Window { at; duration; loss; dup; dir; server })
+  | "crash" ->
+    let* server = field "crash" "server" j in
+    let* server = as_int "crash.server" server in
+    let* down_for =
+      match Obs.Json.member "down_for" j with
+      | None | Some Obs.Json.Null -> Ok None
+      | Some d ->
+        let* d = as_int "crash.down_for" d in
+        Ok (Some d)
+    in
+    Ok (Crash { at; server; down_for })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 let of_json j =
@@ -177,7 +203,9 @@ let event_equal a b =
     && Float.equal a.loss b.loss
     && Float.equal a.dup b.dup
     && a.dir = b.dir && a.server = b.server
-  | (Inject _ | Roam _ | Window _), _ -> false
+  | Crash a, Crash b ->
+    a.at = b.at && a.server = b.server && a.down_for = b.down_for
+  | (Inject _ | Roam _ | Window _ | Crash _), _ -> false
 
 let equal a b =
   List.length a = List.length b && List.for_all2 event_equal a b
@@ -200,3 +228,8 @@ let pp_event fmt = function
       (match server with
       | Some s -> Printf.sprintf " s%d" s
       | None -> "")
+  | Crash { at; server; down_for } ->
+    Format.fprintf fmt "@%d crash s%d%s" at server
+      (match down_for with
+      | Some d -> Printf.sprintf " (recover +%d)" d
+      | None -> " (stop)")

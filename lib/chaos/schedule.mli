@@ -26,6 +26,10 @@ type event =
       (** Link-chaos window: every client port's transports run at
           [loss]/[dup] from [at] until [at + duration], then return to the
           medium's base rates.  A no-op under the [Reliable_fifo] medium. *)
+  | Crash of { at : int; server : int; down_for : int option }
+      (** {!Sim.Fault.schedule_crash} on ["server.<server>"]: crash-stop
+          when [down_for] is [None], crash-recovery (rejoining over
+          arbitrary state at [at + down_for]) otherwise. *)
 
 type t = event list
 (** Sorted by {!time} (stable for equal instants). *)
@@ -37,7 +41,9 @@ val sort : t -> t
 val disturbance_points : t -> int list
 (** Sorted, deduplicated instants after which the oracle expects the next
     completed write to re-establish the register condition: every event's
-    [at], plus each window's closing instant. *)
+    [at], plus each window's closing instant, plus each crash-recovery's
+    recovery instant (the rejoin over arbitrary state is itself a
+    transient fault). *)
 
 val event_to_json : event -> Obs.Json.t
 

@@ -56,7 +56,7 @@ let build_link_delay kind =
     end
 
 let run ?(instrument = fun _ -> ()) kind =
-  let params = Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async in
+  let params = Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async () in
   let rng = Sim.Rng.create 1 in
   let trace = Sim.Trace.create ~record_events:false () in
   let engine = Sim.Engine.create ~trace ~rng () in

@@ -32,13 +32,48 @@ let create ?(seed = 1) ?(record_events = false) ?delay ?medium ~params () =
   let fault = Sim.Fault.create () in
   Array.iter
     (fun srv ->
-      Sim.Fault.register fault
-        ~name:(Printf.sprintf "server.%d" (Registers.Server.id srv))
-        (fun rng -> Registers.Server.corrupt srv rng))
+      let name = Printf.sprintf "server.%d" (Registers.Server.id srv) in
+      Sim.Fault.register fault ~name (fun rng ->
+          Registers.Server.corrupt srv rng);
+      Sim.Fault.register_process fault ~name
+        ~crash:(fun () ->
+          Byzantine.Adversary.crash adversary (Registers.Server.id srv))
+        ~recover:(fun rng ->
+          Byzantine.Adversary.recover ~wipe:`Arbitrary ~rng adversary
+            (Registers.Server.id srv)))
     (Byzantine.Adversary.servers adversary);
   { seed; engine; net; fault; adversary; history = Oracles.History.create () }
 
 let run ?until t = Sim.Engine.run ?until t.engine
+
+exception Deadlock of string
+
+let stuck_jobs handles =
+  List.filter_map
+    (fun (name, h) ->
+      match Sim.Fiber.status h with
+      | Sim.Fiber.Running ->
+        Some
+          (Printf.sprintf "%s (blocked on %s)" name
+             (Option.value ~default:"unknown" (Sim.Fiber.blocked_on h)))
+      | Sim.Fiber.Done | Sim.Fiber.Failed _ -> None)
+    handles
+
+let check_jobs handles =
+  List.iter
+    (fun (_, h) ->
+      match Sim.Fiber.status h with
+      | Sim.Fiber.Failed e -> raise e
+      | Sim.Fiber.Done | Sim.Fiber.Running -> ())
+    handles;
+  match stuck_jobs handles with
+  | [] -> ()
+  | stuck ->
+    raise
+      (Deadlock
+         (Printf.sprintf "engine quiesced with %d wedged fiber(s): %s"
+            (List.length stuck)
+            (String.concat "; " stuck)))
 
 let now t = Sim.Engine.now t.engine
 

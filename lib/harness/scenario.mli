@@ -27,11 +27,27 @@ val create :
     (default [(1, 10)] in async mode; in sync mode the default upper bound
     is the mode's [max_delay], and a custom [delay] must respect it).
     Server state is registered with the fault injector under
-    ["server.<i>"]; client-side state is registered by the [register_*]
-    helpers below. *)
+    ["server.<i>"] — both as a corruptible state target and as a crashable
+    process ({!Sim.Fault.schedule_crash} with prefix ["server.<i>"] crashes
+    it; with [down_for] it recovers over arbitrary state); client-side
+    state is registered by the [register_*] helpers below. *)
 
 val run : ?until:Sim.Vtime.t -> t -> unit
 (** Drive the engine until quiescence (or [until]). *)
+
+exception Deadlock of string
+(** The engine quiesced while job fibers were still suspended — the
+    message lists each wedged fiber with the suspension point it blocks on
+    (e.g. ["Mailbox.recv"], ["Collect.backoff"]). *)
+
+val stuck_jobs : (string * Sim.Fiber.handle) list -> string list
+(** Human-readable descriptions of the still-running fibers among
+    [(name, handle)] pairs, with their {!Sim.Fiber.blocked_on} labels. *)
+
+val check_jobs : (string * Sim.Fiber.handle) list -> unit
+(** Watchdog: re-raise the first failed job's exception, then raise
+    {!Deadlock} if any job is still suspended.  Call after {!run} returns
+    to turn a silent hang into a diagnosed error. *)
 
 val now : t -> Sim.Vtime.t
 

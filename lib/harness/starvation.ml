@@ -66,8 +66,8 @@ let run ~n ~f ?(sync = false) ?(budget = 6) ?(instrument = fun _ -> ()) () =
   let params =
     if sync then
       Registers.Params.create_unchecked ~n ~f
-        ~mode:(Registers.Params.Sync { max_delay = 10; slack = 3 })
-    else Registers.Params.create_unchecked ~n ~f ~mode:Registers.Params.Async
+        ~mode:(Registers.Params.Sync { max_delay = 10; slack = 3 }) ()
+    else Registers.Params.create_unchecked ~n ~f ~mode:Registers.Params.Async ()
   in
   let rng = Sim.Rng.create 1 in
   let trace = Sim.Trace.create ~record_events:false () in

@@ -35,7 +35,7 @@ let build_link_delay () =
     else scripted [] 1
 
 let run kind =
-  let params = Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async in
+  let params = Registers.Params.create_exn ~n:9 ~f:1 ~mode:Registers.Params.Async () in
   let rng = Sim.Rng.create 1 in
   let engine = Sim.Engine.create ~rng () in
   let net =

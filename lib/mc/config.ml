@@ -18,6 +18,7 @@ type corruption =
   | Corrupt_reader of { pwsn : int; v : int }
   | Corrupt_writer_sn of int
   | Corrupt_round of { client : int; round : int }
+  | Crash_recover of { server : int }
 
 type oracle = Family_default | Atomic_oracle
 
@@ -78,7 +79,8 @@ let validate c =
   else if
     List.exists
       (function
-        | Corrupt_server { server; _ } -> server < 0 || server >= c.n
+        | Corrupt_server { server; _ } | Crash_recover { server } ->
+          server < 0 || server >= c.n
         | _ -> false)
       c.menu
   then err "corruption target server out of range"
@@ -130,6 +132,9 @@ let corruption_to_json = function
         ("client", Obs.Json.Int client);
         ("round", Obs.Json.Int round);
       ]
+  | Crash_recover { server } ->
+    Obs.Json.Obj
+      [ ("kind", Obs.Json.Str "crashrec"); ("server", Obs.Json.Int server) ]
 
 let to_json c =
   Obs.Json.Obj
@@ -218,6 +223,9 @@ let corruption_of_json ctx item =
     let* client = int_field ctx "client" item in
     let* round = int_field ctx "round" item in
     Ok (Corrupt_round { client; round })
+  | "crashrec" ->
+    let* server = int_field ctx "server" item in
+    Ok (Crash_recover { server })
   | s -> Error (Printf.sprintf "%s: unknown corruption kind %S" ctx s)
 
 let of_json j =

@@ -28,6 +28,10 @@ type corruption =
   | Corrupt_writer_sn of int  (** atomic family only: force the wsn *)
   | Corrupt_round of { client : int; round : int }
       (** overwrite a client port's data-link round tag *)
+  | Crash_recover of { server : int }
+      (** crash-recovery: the server instantaneously rejoins with its
+          volatile state wiped to pristine [bot] content (the model-step
+          rendering of a crash plus recovery with lost state) *)
 
 type oracle =
   | Family_default

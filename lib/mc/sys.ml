@@ -77,7 +77,7 @@ let create (cfg : Config.t) =
   let rng = Sim.Rng.create 42 in
   let engine = Sim.Engine.create ~rng () in
   let params =
-    Params.create_unchecked ~n:cfg.n ~f:cfg.f ~mode:Params.Async
+    Params.create_unchecked ~n:cfg.n ~f:cfg.f ~mode:Params.Async ()
   in
   (* Fixed unit delay: the explorer owns all ordering nondeterminism, so
      sampled delays would only smear states apart without adding behaviors. *)
@@ -298,6 +298,16 @@ let apply_corruption t = function
     match List.assoc_opt client (Net.client_ports t.net) with
     | Some port -> port.Net.round <- abs round mod (1 lsl 30)
     | None -> ())
+  | Config.Crash_recover { server } ->
+    (* Crash plus recovery with lost volatile state, collapsed into one
+       model step: the automaton keeps running (deliveries during the
+       down window are a scheduling choice the explorer already owns) but
+       its state reverts to pristine bot content. *)
+    let srv = Byzantine.Adversary.server t.adv server in
+    (match Server.instances srv with
+    | [] -> ignore (Server.instance srv 0)
+    | _ :: _ -> ());
+    Server.reset srv
 
 (* Every explored step advances the clock by one tick before firing, so
    execution order and virtual-time order coincide: the history the
@@ -497,7 +507,10 @@ let fingerprint_raw_ex t =
   let named =
     List.filter_map
       (function
-        | Config.Corrupt_server { server; _ } -> Some server | _ -> None)
+        | Config.Corrupt_server { server; _ } | Config.Crash_recover { server }
+          ->
+          Some server
+        | _ -> None)
       t.cfg.menu
     |> List.sort_uniq Int.compare
   in

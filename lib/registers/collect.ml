@@ -1,11 +1,14 @@
-let acks ~net ~port ~round ~filter =
+(* One collection pass over the port's mailbox: fill per-server slots with
+   acknowledgments of [round] until [stop_at] distinct servers answered or
+   [deadline] (when given) passes.  The round tag was captured at broadcast
+   time: the wait matches the broadcast that was just issued even if a
+   transient fault corrupts the port's tag while the round trip is in
+   flight. *)
+let gather ~net ~port ~round ~filter ~stop_at ~deadline =
   let params = Net.params net in
   let n = (params : Params.t).n in
   let slots : 'a option array = Array.make n None in
   let filled = ref 0 in
-  (* The round tag was captured at broadcast time: the wait matches the
-     broadcast that was just issued even if a transient fault corrupts the
-     port's tag while the round trip is in flight. *)
   let expected_round = round in
   let consider (env : Messages.client_envelope) =
     let slot_free =
@@ -19,23 +22,41 @@ let acks ~net ~port ~round ~filter =
         slots.(env.server) <- Some payload;
         incr filled
   in
-  (match Params.sync_timeout params with
+  let expired = ref false in
+  (match deadline with
   | None ->
-    (* Asynchronous model: block until (n - t) distinct servers answered. *)
-    let target = Params.ack_wait params in
-    while !filled < target do
+    (* The paper's asynchronous client: block until enough distinct
+       servers answered, however long that takes. *)
+    while !filled < stop_at do
       consider (Sim.Mailbox.recv port.Net.mailbox)
     done
-  | Some timeout ->
-    (* Synchronous model: wait for all n servers or the round-trip bound. *)
+  | Some deadline ->
     let engine = Net.engine net in
-    let deadline = Sim.Vtime.add (Sim.Engine.now engine) timeout in
     let continue = ref true in
-    while !continue && !filled < n do
+    while !continue && !filled < stop_at do
       match Sim.Mailbox.recv_until ~engine ~deadline port.Net.mailbox with
-      | None -> continue := false
+      | None ->
+        continue := false;
+        expired := true
       | Some env -> consider env
     done);
+  (slots, !filled, !expired)
+
+let acks ~net ~port ~round ~filter =
+  let params = Net.params net in
+  let slots, _, _ =
+    match Params.sync_timeout params with
+    | None ->
+      gather ~net ~port ~round ~filter ~stop_at:(Params.ack_wait params)
+        ~deadline:None
+    | Some timeout ->
+      (* Synchronous model: wait for all n servers or the round-trip
+         bound. *)
+      let engine = Net.engine net in
+      let deadline = Sim.Vtime.add (Sim.Engine.now engine) timeout in
+      gather ~net ~port ~round ~filter ~stop_at:(params : Params.t).n
+        ~deadline:(Some deadline)
+  in
   Array.to_list slots |> List.filter_map (fun s -> s)
 
 let ack_writes ~net ~port ~round =
@@ -47,3 +68,142 @@ let ack_reads ~net ~port ~round =
   acks ~net ~port ~round ~filter:(function
     | Messages.Ack_read (c, h) -> Some (c, h)
     | Messages.Ack_write _ -> None)
+
+(* --- deadline-bounded attempts with health tracking --- *)
+
+type 'a attempt = { payloads : 'a list; acks : int; expired : bool }
+
+(* How many distinct answers attempt number [attempt] (0-based) waits for.
+   The first attempt wants the paper's full quota; retries stop counting on
+   suspected slots — they wait only for the servers believed responsive,
+   floored at the read quorum so a wrong suspicion can never lower the
+   evidence a successful operation rests on. *)
+let attempt_target params ~health ~attempt =
+  let full = Params.ack_wait params in
+  if attempt = 0 then full
+  else max (Params.read_quorum params) (min full (Health.responsive health))
+
+let attempt_once ~net ~port ~round ~attempt ~filter =
+  let params = Net.params net in
+  match Params.retry params with
+  | None ->
+    (* No policy installed: exactly the legacy blocking collection. *)
+    let payloads = acks ~net ~port ~round ~filter in
+    { payloads; acks = List.length payloads; expired = false }
+  | Some r ->
+    let engine = Net.engine net in
+    let deadline = Sim.Vtime.add (Sim.Engine.now engine) r.Params.deadline in
+    let stop_at = attempt_target params ~health:port.Net.health ~attempt in
+    let slots, filled, expired =
+      gather ~net ~port ~round ~filter ~stop_at ~deadline:(Some deadline)
+    in
+    let health = port.Net.health in
+    Array.iteri
+      (fun s slot ->
+        Health.note health ~server:s ~answered:(slot <> None))
+      slots;
+    let payloads = Array.to_list slots |> List.filter_map (fun s -> s) in
+    { payloads; acks = filled; expired }
+
+let sleep ~net span =
+  if span > 0 then
+    let engine = Net.engine net in
+    Sim.Fiber.suspend ~label:"Collect.backoff" (fun resume ->
+        Sim.Engine.schedule engine ~delay:span (fun () -> resume ()))
+
+(* Backoff before retry number [attempt] (1-based): the policy's
+   exponential curve plus jitter from the port's own deterministic
+   stream. *)
+let backoff_wait ~net ~port ~attempt =
+  match Params.retry (Net.params net) with
+  | None -> ()
+  | Some r ->
+    let base = Params.backoff_span r ~attempt in
+    let jitter =
+      if r.Params.jitter > 0 then
+        Sim.Rng.int port.Net.retry_rng (r.Params.jitter + 1)
+      else 0
+    in
+    Obs.Metrics.incr (Sim.Engine.metrics (Net.engine net)) "collect.retries";
+    let hub = Sim.Engine.hub (Net.engine net) in
+    if Obs.Hub.active hub then
+      Obs.Hub.emit hub
+        (Obs.Event.Mark
+           {
+             time = Sim.Vtime.to_int (Sim.Engine.now (Net.engine net));
+             label =
+               Printf.sprintf "retry.c%d.a%d" port.Net.client_id attempt;
+           });
+    sleep ~net (base + jitter)
+
+type 'a collected = {
+  payloads : 'a list;
+  acks : int;
+  attempts : int;
+  complete : bool;
+}
+
+let reason_of ~net ~port ~attempts ~acks ~need =
+  {
+    Outcome.attempts;
+    acks;
+    need;
+    suspects =
+      (match Params.retry (Net.params net) with
+      | None -> []
+      | Some _ -> Health.suspects port.Net.health);
+  }
+
+let judge ~net ~port (c : 'a collected) =
+  let params = Net.params net in
+  if c.acks >= Params.write_ok_threshold params then Outcome.Ok ()
+  else
+    let r =
+      reason_of ~net ~port ~attempts:c.attempts ~acks:c.acks
+        ~need:(Params.write_ok_threshold params)
+    in
+    if c.acks >= Params.read_quorum params then Outcome.Degraded r
+    else Outcome.Timed_out r
+
+(* One logical collect — broadcast, gather, and retry with backoff until
+   the full quota answers or the policy's attempts run out.  Returns the
+   best attempt seen.  With no retry policy this is a single legacy
+   (blocking or sync-timeout) round. *)
+let retrying ?span ~net ~port ~inst ~body ~filter () =
+  let params = Net.params net in
+  let full = Params.ack_wait params in
+  let max_attempts =
+    match Params.retry params with
+    | None -> 1
+    | Some r -> max 1 r.Params.attempts
+  in
+  let rec go k best_payloads best_acks =
+    let round = Net.ss_broadcast ?span net port ~inst body in
+    let a = attempt_once ~net ~port ~round ~attempt:k ~filter in
+    let best_payloads, best_acks =
+      if a.acks >= best_acks then (a.payloads, a.acks)
+      else (best_payloads, best_acks)
+    in
+    if a.acks >= full then
+      { payloads = a.payloads; acks = a.acks; attempts = k + 1; complete = true }
+    else if k + 1 >= max_attempts then
+      {
+        payloads = best_payloads;
+        acks = best_acks;
+        attempts = k + 1;
+        complete = false;
+      }
+    else begin
+      backoff_wait ~net ~port ~attempt:(k + 1);
+      go (k + 1) best_payloads best_acks
+    end
+  in
+  go 0 [] 0
+
+let write_filter = function
+  | Messages.Ack_write h -> Some h
+  | Messages.Ack_read _ -> None
+
+let read_filter = function
+  | Messages.Ack_read (c, h) -> Some (c, h)
+  | Messages.Ack_write _ -> None

@@ -30,3 +30,79 @@ val ack_reads :
   round:int ->
   (Messages.cell * Messages.help) list
 (** Collect ACK_READ payloads ((last_val, helping_val) pairs). *)
+
+(** {2 Deadline-bounded attempts}
+
+    When the deployment's {!Params.retry} policy is installed, waits are
+    bounded: each {e attempt} collects until its target count or a
+    per-attempt deadline, feeds the port's {!Health} tracker with who
+    answered, and retries after deterministic exponential backoff.  The
+    first attempt waits for the paper's full quota; retries stop counting
+    on suspected slots (floored at the read quorum).  With no policy these
+    entry points degenerate to the legacy blocking semantics, tick for
+    tick. *)
+
+type 'a attempt = {
+  payloads : 'a list;  (** filtered payloads, in server-id order *)
+  acks : int;  (** distinct servers that answered in time *)
+  expired : bool;  (** the attempt deadline fired *)
+}
+
+val attempt_once :
+  net:Net.t ->
+  port:Net.client_port ->
+  round:int ->
+  attempt:int ->
+  filter:(Messages.to_client -> 'a option) ->
+  'a attempt
+(** One deadline-bounded collection pass for broadcast [round] ([attempt]
+    is 0-based; it selects the target count as described above). *)
+
+val backoff_wait : net:Net.t -> port:Net.client_port -> attempt:int -> unit
+(** Sleep the policy's backoff (plus per-port jitter) before retry number
+    [attempt] (1-based); bumps the ["collect.retries"] metric and emits a
+    ["retry.c<id>.a<k>"] mark.  No-op without a policy. *)
+
+val sleep : net:Net.t -> Sim.Vtime.span -> unit
+(** Park the calling fiber for [span] ticks of virtual time. *)
+
+type 'a collected = {
+  payloads : 'a list;  (** from the best attempt *)
+  acks : int;
+  attempts : int;  (** attempts spent (1 = first try sufficed) *)
+  complete : bool;  (** the full [Params.ack_wait] quota answered *)
+}
+
+val retrying :
+  ?span:Obs.Trace_ctx.span ->
+  net:Net.t ->
+  port:Net.client_port ->
+  inst:int ->
+  body:Messages.to_server ->
+  filter:(Messages.to_client -> 'a option) ->
+  unit ->
+  'a collected
+(** One logical collect: ss-broadcast [body], gather, and retry (fresh
+    broadcast each time) until the full quota answers or the policy's
+    attempt budget runs out; returns the best attempt.  Each re-broadcast
+    opens its own child span of [span], so retry rounds are visible in
+    traces. *)
+
+val judge :
+  net:Net.t -> port:Net.client_port -> 'a collected -> unit Outcome.t
+(** Classify a collect against {!Params.write_ok_threshold} (full service)
+    and {!Params.read_quorum} (degraded vs timed out), naming the port's
+    current suspects in the reason. *)
+
+val reason_of :
+  net:Net.t ->
+  port:Net.client_port ->
+  attempts:int ->
+  acks:int ->
+  need:int ->
+  Outcome.reason
+
+val write_filter : Messages.to_client -> Messages.help option
+
+val read_filter :
+  Messages.to_client -> (Messages.cell * Messages.help) option

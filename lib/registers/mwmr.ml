@@ -21,6 +21,7 @@ let epoch_k cfg = max cfg.m 2
 
 type process = {
   id : int;
+  net : Net.t;
   cfg : config;
   own : Swmr.writer;
   views : Swmr.reader array;
@@ -48,6 +49,7 @@ let process ~net ~cfg ~id ~client_id =
   in
   {
     id;
+    net;
     cfg;
     own;
     views;
@@ -69,18 +71,35 @@ let decode ~k v =
 (* Lines 01 and 09: collect this process's view of REG[1..m].  A sub-read
    that exhausts the inquiry budget (possible only before the registers'
    writers have written post-fault) is absorbed as a genesis-stamped Bot
-   triple; see the [view_budget] documentation. *)
-let read_views ?parent ?max_iterations p =
+   triple; see the [view_budget] documentation.  Returns the views plus
+   the worst sub-read outcome, so a view assembled while servers were
+   unreachable is reported as degraded rather than silently partial. *)
+let read_views_o ?parent ?max_iterations p =
   let k = epoch_k p.cfg in
   let budget =
     match max_iterations with Some b -> b | None -> p.cfg.view_budget
   in
-  Array.map
-    (fun r ->
-      match Swmr.read ?parent ~max_iterations:budget r with
-      | Some v -> decode ~k v
-      | None -> (Value.bot, Epoch.genesis ~k, 0))
-    p.views
+  let worst = ref (Outcome.Ok ()) in
+  let views =
+    Array.map
+      (fun r ->
+        match Swmr.read_o ?parent ~max_iterations:budget r with
+        | Outcome.Ok v -> decode ~k v
+        | (Outcome.Degraded _ | Outcome.Timed_out _) as o ->
+          worst := Outcome.worse !worst (Outcome.map (fun _ -> ()) o);
+          (Value.bot, Epoch.genesis ~k, 0))
+      p.views
+  in
+  (views, !worst)
+
+(* Degraded views only surface in the typed outcome when a retry policy
+   is installed: without one, absorption of failed sub-reads as genesis
+   triples is the algorithm's normal (and only) path, and the legacy
+   option API must keep returning the absorbed result. *)
+let view_gate p o =
+  match Params.retry (Net.params p.net) with
+  | None -> Outcome.Ok ()
+  | Some _ -> o
 
 let view_epochs views =
   Array.to_list views |> List.map (fun (_, e, _) -> e)
@@ -110,10 +129,10 @@ let frontier views =
     in
     Some (me, seq_max, holders)
 
-let write ?parent p v =
+let write_o ?parent p v =
   let span = Instr.start ?parent p.wprobe in
   let ctx = Instr.ctx span in
-  let views = read_views ~parent:ctx p in
+  let views, view_health = read_views_o ~parent:ctx p in
   if must_open_epoch p views then begin
     let ne = Epoch.next_epoch ~k:(epoch_k p.cfg) (view_epochs views) in
     p.epochs_opened <- p.epochs_opened + 1;
@@ -125,8 +144,15 @@ let write ?parent p v =
     let ts_seq = seq_max + 1 in
     p.last_ts <- Some (me, ts_seq);
     (* line 07 *)
-    Swmr.write ~parent:ctx p.own (Value.stamped ~data:v ~epoch:me ~seq:ts_seq);
-    Instr.finish p.wprobe span
+    let wo =
+      Swmr.write_o ~parent:ctx p.own
+        (Value.stamped ~data:v ~epoch:me ~seq:ts_seq)
+    in
+    let outcome = Outcome.worse wo (view_gate p view_health) in
+    Instr.finish ~ok:(Outcome.is_ok outcome) p.wprobe span;
+    outcome
+
+let write ?parent p v = ignore (write_o ?parent p v)
 
 let pick_return p (_me, seq_max, holders) =
   let candidates = List.filter (fun (_, _, _, s) -> s = seq_max) holders in
@@ -139,10 +165,10 @@ let pick_return p (_me, seq_max, holders) =
   | Some (j, v, _, _) -> (j, v)
   | None -> (0, Value.bot) (* unreachable: holders is non-empty *)
 
-let read_timestamped ?parent ?max_iterations p =
+let read_timestamped_o ?parent ?max_iterations p =
   let span = Instr.start ?parent p.rprobe in
   let ctx = Instr.ctx span in
-  let views = read_views ~parent:ctx ?max_iterations p in
+  let views, view_health = read_views_o ~parent:ctx ?max_iterations p in
   if must_open_epoch p views then begin
     (* Line 11: restamp our own current value into a fresh epoch. *)
     let ne = Epoch.next_epoch ~k:(epoch_k p.cfg) (view_epochs views) in
@@ -155,16 +181,27 @@ let read_timestamped ?parent ?max_iterations p =
   match frontier views with
   | None ->
     Instr.finish ~ok:false p.rprobe span;
-    None
+    (match Outcome.reason (view_gate p view_health) with
+    | Some re -> Outcome.Timed_out re
+    | None -> Outcome.Timed_out Outcome.no_reason)
   | Some ((me, seq_max, _) as fr) ->
     let j, v = pick_return p fr in
-    Instr.finish p.rprobe span;
-    Some (v, me, seq_max, j)
+    let outcome =
+      Outcome.worse
+        (Outcome.Ok (v, me, seq_max, j))
+        (Outcome.map (fun () -> (v, me, seq_max, j)) (view_gate p view_health))
+    in
+    Instr.finish ~ok:(Outcome.is_ok outcome) p.rprobe span;
+    outcome
+
+let read_timestamped ?parent ?max_iterations p =
+  Outcome.to_option (read_timestamped_o ?parent ?max_iterations p)
+
+let read_o ?parent ?max_iterations p =
+  Outcome.map (fun (v, _, _, _) -> v) (read_timestamped_o ?parent ?max_iterations p)
 
 let read ?parent ?max_iterations p =
-  match read_timestamped ?parent ?max_iterations p with
-  | Some (v, _, _, _) -> Some v
-  | None -> None
+  Outcome.to_option (read_o ?parent ?max_iterations p)
 
 let id p = p.id
 

@@ -61,6 +61,21 @@ val read_timestamped :
 (** Like {!read} but exposing the returned value's full timestamp
     [(epoch, seq, writer-index)] for the atomicity checker. *)
 
+val write_o : ?parent:Obs.Trace_ctx.span -> process -> Value.t -> unit Outcome.t
+(** {!write} with a typed outcome: the worst of the line-07 SWMR write and
+    (when a retry policy is installed) the line-01 view collection. *)
+
+val read_o :
+  ?parent:Obs.Trace_ctx.span -> ?max_iterations:int -> process -> Value.t Outcome.t
+(** {!read} with a typed outcome. *)
+
+val read_timestamped_o :
+  ?parent:Obs.Trace_ctx.span ->
+  ?max_iterations:int ->
+  process ->
+  (Value.t * Epoch.t * int * int) Outcome.t
+(** {!read_timestamped} with a typed outcome. *)
+
 val id : process -> int
 
 val last_write_timestamp : process -> (Epoch.t * int) option

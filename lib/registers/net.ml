@@ -18,6 +18,8 @@ type client_port = {
   from_servers : Messages.client_envelope Sim.Link.t array;
   mutable round : int;
   transport : port_transport;
+  health : Health.t;
+  retry_rng : Sim.Rng.t;
 }
 
 type t = {
@@ -109,6 +111,19 @@ let add_client t ~id =
   | None ->
     let n = t.params.Params.n in
     let mailbox = Sim.Mailbox.create () in
+    let health = Health.create ~n () in
+    (* The backoff-jitter stream is seeded from the retry policy and the
+       client id, NOT split off the engine's generator: splitting here
+       would shift every later split (link samplers, fault draws) and
+       silently invalidate all committed seeded artifacts. *)
+    let retry_rng =
+      let seed =
+        match t.params.Params.retry with
+        | Some r -> r.Params.jitter_seed
+        | None -> 0
+      in
+      Sim.Rng.create (seed + (1_000_003 * id))
+    in
     let mk_sampler () = t.link_delay (Sim.Rng.split (Sim.Engine.rng t.engine)) in
     let port =
       match t.medium with
@@ -139,6 +154,8 @@ let add_client t ~id =
           from_servers;
           round = 0;
           transport = Direct;
+          health;
+          retry_rng;
         }
       | Stabilizing { loss; dup; retrans } ->
         let rng () = Sim.Rng.split (Sim.Engine.rng t.engine) in
@@ -176,6 +193,8 @@ let add_client t ~id =
           from_servers = [||];
           round = 0;
           transport = Lossy { to_servers; reply_senders };
+          health;
+          retry_rng;
         }
     in
     t.ports <- (id, port) :: t.ports;
@@ -289,7 +308,7 @@ let ss_broadcast ?(span = Obs.Trace_ctx.none) t port ~inst body =
      deliveries across links), not just the heap order of a fresh run. *)
   (match port.transport with
   | Direct ->
-    Sim.Fiber.suspend (fun resume ->
+    Sim.Fiber.suspend ~label:"Net.ss_broadcast" (fun resume ->
         let confirmed = ref 0 in
         let resumed = ref false in
         let maybe_resume () =
@@ -317,7 +336,7 @@ let ss_broadcast ?(span = Obs.Trace_ctx.none) t port ~inst body =
                 resume ()
               end))
   | Lossy { to_servers; _ } ->
-    Sim.Fiber.suspend (fun resume ->
+    Sim.Fiber.suspend ~label:"Net.ss_broadcast" (fun resume ->
         let confirmed = ref 0 in
         let resumed = ref false in
         let maybe_resume () =

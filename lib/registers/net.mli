@@ -48,6 +48,14 @@ type client_port = {
       (** [Reliable_fifo] links; empty under [Stabilizing] *)
   mutable round : int;
   transport : port_transport;
+  health : Health.t;
+      (** per-server responsiveness evidence, fed by deadline-bounded
+          collection attempts (see {!Collect}) *)
+  retry_rng : Sim.Rng.t;
+      (** backoff-jitter stream, seeded from
+          [Params.retry.jitter_seed + client_id] — deliberately {e not}
+          split off the engine's generator so installing a retry policy
+          perturbs no other random stream *)
 }
 
 type t

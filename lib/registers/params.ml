@@ -2,20 +2,60 @@ type mode =
   | Async
   | Sync of { max_delay : int; slack : int }
 
-type t = { n : int; f : int; mode : mode }
+type retry = {
+  deadline : Sim.Vtime.span;
+  attempts : int;
+  backoff : Sim.Vtime.span;
+  backoff_factor : int;
+  backoff_max : Sim.Vtime.span;
+  jitter : Sim.Vtime.span;
+  jitter_seed : int;
+}
+
+let default_retry =
+  {
+    deadline = 60;
+    attempts = 4;
+    backoff = 8;
+    backoff_factor = 2;
+    backoff_max = 64;
+    jitter = 5;
+    jitter_seed = 0x5eed;
+  }
+
+(* Exponential backoff before attempt [attempt] (1-based count of failed
+   attempts so far), capped at [backoff_max].  The multiply loop stops as
+   soon as the cap is reached, so huge attempt counts cannot overflow. *)
+let backoff_span r ~attempt =
+  if attempt <= 0 || r.backoff <= 0 then 0
+  else begin
+    let d = ref r.backoff in
+    let k = ref (attempt - 1) in
+    while !k > 0 && !d < r.backoff_max do
+      d := !d * max 1 r.backoff_factor;
+      decr k
+    done;
+    min !d r.backoff_max
+  end
+
+type t = { n : int; f : int; mode : mode; retry : retry option }
 
 let satisfies_bound t =
   match t.mode with
   | Async -> t.n >= (8 * t.f) + 1
   | Sync _ -> t.n >= (3 * t.f) + 1
 
-let create_unchecked ~n ~f ~mode =
+let create_unchecked ?retry ~n ~f ~mode () =
   if n <= 0 then invalid_arg "Params: n must be positive";
   if f < 0 then invalid_arg "Params: f must be non-negative";
-  { n; f; mode }
+  (match retry with
+  | Some r when r.attempts <= 0 || r.deadline <= 0 ->
+    invalid_arg "Params: retry needs attempts > 0 and deadline > 0"
+  | Some _ | None -> ());
+  { n; f; mode; retry }
 
-let create ~n ~f ~mode =
-  let t = create_unchecked ~n ~f ~mode in
+let create ?retry ~n ~f ~mode () =
+  let t = create_unchecked ?retry ~n ~f ~mode () in
   if satisfies_bound t then Ok t
   else
     Error
@@ -24,8 +64,14 @@ let create ~n ~f ~mode =
          | Async -> "n >= 8t+1 (asynchronous)"
          | Sync _ -> "n >= 3t+1 (synchronous)"))
 
-let create_exn ~n ~f ~mode =
-  match create ~n ~f ~mode with Ok t -> t | Error msg -> invalid_arg msg
+let create_exn ?retry ~n ~f ~mode () =
+  match create ?retry ~n ~f ~mode () with
+  | Ok t -> t
+  | Error msg -> invalid_arg msg
+
+let with_retry t retry = { t with retry }
+
+let retry t = t.retry
 
 let ack_wait t = match t.mode with Async -> t.n - t.f | Sync _ -> t.n
 
@@ -35,11 +81,17 @@ let read_quorum t =
 let help_refresh_threshold t =
   match t.mode with Async -> (4 * t.f) + 1 | Sync _ -> t.f + 1
 
+let write_ok_threshold t =
+  match t.mode with Async -> t.n - t.f | Sync _ -> t.f + 1
+
 let sync_timeout t =
   match t.mode with
   | Async -> None
   | Sync { max_delay; slack } -> Some ((2 * max_delay) + slack)
 
 let pp ppf t =
-  Format.fprintf ppf "{n=%d; t=%d; %s}" t.n t.f
+  Format.fprintf ppf "{n=%d; t=%d; %s%s}" t.n t.f
     (match t.mode with Async -> "async" | Sync _ -> "sync")
+    (match t.retry with
+    | None -> ""
+    | Some r -> Printf.sprintf "; retry=%dx%d" r.attempts r.deadline)

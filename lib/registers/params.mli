@@ -18,18 +18,50 @@ type mode =
           delays of links touching correct processes; waits time out after
           a round trip plus [slack]. *)
 
-type t = private { n : int; f : int; mode : mode }
-(** [n] servers of which at most [f] are Byzantine (the paper's [t];
-    renamed to avoid clashing with the conventional type name [t]). *)
+type retry = {
+  deadline : Sim.Vtime.span;
+      (** per-attempt wait for acknowledgments, in ticks *)
+  attempts : int;  (** max collection attempts per operation *)
+  backoff : Sim.Vtime.span;  (** backoff before the second attempt *)
+  backoff_factor : int;  (** multiplier per further attempt *)
+  backoff_max : Sim.Vtime.span;  (** backoff ceiling *)
+  jitter : Sim.Vtime.span;
+      (** max extra ticks added to each backoff, drawn from a
+          deterministic per-port stream seeded by [jitter_seed] *)
+  jitter_seed : int;
+}
+(** Client-side robustness policy: bound every acknowledgment wait (even in
+    the asynchronous model, where the paper's client blocks until [n - t]
+    answers) and retry with deterministic exponential backoff.  Purely
+    vtime-based — two runs with the same seed take identical schedules. *)
 
-val create : n:int -> f:int -> mode:mode -> (t, string) result
+val default_retry : retry
+(** [{deadline = 60; attempts = 4; backoff = 8; backoff_factor = 2;
+    backoff_max = 64; jitter = 5; jitter_seed = 0x5eed}]. *)
+
+val backoff_span : retry -> attempt:int -> Sim.Vtime.span
+(** Backoff (without jitter) before retry number [attempt] (1-based):
+    [backoff * backoff_factor^(attempt-1)] capped at [backoff_max]. *)
+
+type t = private { n : int; f : int; mode : mode; retry : retry option }
+(** [n] servers of which at most [f] are Byzantine (the paper's [t];
+    renamed to avoid clashing with the conventional type name [t]).
+    [retry = None] (the default) reproduces the paper's unbounded waits
+    exactly. *)
+
+val create : ?retry:retry -> n:int -> f:int -> mode:mode -> unit -> (t, string) result
 (** Validates the resilience bound for the mode. *)
 
-val create_exn : n:int -> f:int -> mode:mode -> t
+val create_exn : ?retry:retry -> n:int -> f:int -> mode:mode -> unit -> t
 
-val create_unchecked : n:int -> f:int -> mode:mode -> t
+val create_unchecked : ?retry:retry -> n:int -> f:int -> mode:mode -> unit -> t
 (** Skip the resilience validation — used by the tightness experiments that
     deliberately run the algorithms outside their assumptions. *)
+
+val with_retry : t -> retry option -> t
+(** Same deployment, different client robustness policy. *)
+
+val retry : t -> retry option
 
 val satisfies_bound : t -> bool
 (** [n >= 8f+1] (async) resp. [n >= 3f+1] (sync). *)
@@ -45,6 +77,12 @@ val read_quorum : t -> int
 val help_refresh_threshold : t -> int
 (** Writer's line-03 threshold for skipping NEW_HELP_VAL: [4f+1] async,
     [f+1] sync. *)
+
+val write_ok_threshold : t -> int
+(** Fewest acknowledgments for a bounded-wait write to count as fully
+    serviced rather than degraded: [n - f] async (the paper's quota), [f+1]
+    sync (where waiting out the timeout with a correct quorum is the normal
+    path). *)
 
 val sync_timeout : t -> Sim.Vtime.span option
 (** Round-trip timeout in sync mode; [None] in async mode. *)

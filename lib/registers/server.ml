@@ -31,6 +31,17 @@ let handle t (env : Messages.server_envelope) =
     if new_read then i.helping <- None;
     Some (Messages.Ack_read (i.last_val, i.helping))
 
+(* A crash-recovery wipe loses the volatile state entirely: every known
+   instance goes back to the pristine bot content a fresh automaton would
+   lazily create.  (Keeping the instance table itself is immaterial — an
+   absent instance is recreated with exactly this content.) *)
+let reset t =
+  List.iter
+    (fun (_, i) ->
+      i.last_val <- Messages.bot_cell;
+      i.helping <- None)
+    (instances t)
+
 (* Corrupt instances in sorted-key order: the rng draws then depend only
    on which instances exist, not on hash-table layout, so a corruption at
    a given seed is reproducible across insertion orders and OCaml

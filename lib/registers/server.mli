@@ -31,6 +31,10 @@ val instance : t -> int -> instance
 
 val instances : t -> (int * instance) list
 
+val reset : t -> unit
+(** Crash-recovery wipe: every instance back to pristine [bot] content —
+    what a server that lost its volatile state rejoins with. *)
+
 val corrupt : t -> Sim.Rng.t -> unit
 (** Transient fault: overwrite every instance's variables with arbitrary
     cells (and an arbitrary choice of [⊥]/non-[⊥] helping value). *)

@@ -27,17 +27,30 @@ let reader ~net ~client_id ~base_inst ~reader_index
         ~reg:"swmr" `Read;
   }
 
-let write ?parent (w : writer) v =
+let write_o ?parent (w : writer) v =
   let span = Instr.start ?parent w.probe in
   let ctx = Instr.ctx span in
-  Array.iter (fun c -> Swsr_atomic.write ~parent:ctx c v) w.copies;
-  Instr.finish w.probe span
+  (* The composite write is as healthy as its least healthy copy. *)
+  let outcome =
+    Array.fold_left
+      (fun acc c -> Outcome.worse acc (Swsr_atomic.write_o ~parent:ctx c v))
+      (Outcome.Ok ()) w.copies
+  in
+  Instr.finish ~ok:(Outcome.is_ok outcome) w.probe span;
+  outcome
+
+let write ?parent (w : writer) v = ignore (write_o ?parent w v)
+
+let read_o ?parent ?max_iterations (r : reader) =
+  let span = Instr.start ?parent r.probe in
+  let result =
+    Swsr_atomic.read_o ~parent:(Instr.ctx span) ?max_iterations r.sr
+  in
+  Instr.finish ~ok:(Outcome.is_ok result) r.probe span;
+  result
 
 let read ?parent ?max_iterations (r : reader) =
-  let span = Instr.start ?parent r.probe in
-  let result = Swsr_atomic.read ~parent:(Instr.ctx span) ?max_iterations r.sr in
-  Instr.finish ~ok:(result <> None) r.probe span;
-  result
+  Outcome.to_option (read_o ?parent ?max_iterations r)
 
 let copies w = w.copies
 

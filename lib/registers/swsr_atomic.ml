@@ -56,41 +56,52 @@ let reader ~net ~client_id ~inst ?(modulus = Seqnum.default_modulus)
   }
 
 (* prac_at_write(v): lines N1, 01M, 02-06. *)
-let write ?parent (w : writer) v =
+let write_o ?parent (w : writer) v =
   let span = Instr.start ?parent w.probe in
   let ctx = Instr.ctx span in
+  let params = Net.params w.net in
   w.wsn <- Seqnum.succ ~modulus:w.modulus w.wsn;
   let cell = { Messages.sn = w.wsn; v } in
-  let round =
-    Net.ss_broadcast ~span:ctx w.net w.port ~inst:w.inst (Messages.Write cell)
+  let c =
+    Collect.retrying ~span:ctx ~net:w.net ~port:w.port ~inst:w.inst
+      ~body:(Messages.Write cell) ~filter:Collect.write_filter ()
   in
-  let helps = Collect.ack_writes ~net:w.net ~port:w.port ~round in
-  let threshold = Params.help_refresh_threshold (Net.params w.net) in
-  (match Quorum.find_help ~threshold helps with
+  let threshold = Params.help_refresh_threshold params in
+  (match Quorum.find_help ~threshold c.Collect.payloads with
   | Some _ -> ()
   | None ->
     ignore
       (Net.ss_broadcast ~span:ctx w.net w.port ~inst:w.inst
          (Messages.New_help cell)));
+  let outcome = Collect.judge ~net:w.net ~port:w.port c in
   Sim.Trace.incr (Sim.Engine.trace (Net.engine w.net)) "write.ops";
-  Instr.finish w.probe span
+  Instr.finish
+    ~ok:(Outcome.is_ok outcome || Params.retry params = None)
+    w.probe span;
+  outcome
+
+let write ?parent (w : writer) v = ignore (write_o ?parent w v)
 
 (* prac_at_read(): lines N2-N7 (sanity check) then 07-18 with 13M/15M. *)
-let read ?parent ?(max_iterations = max_int) (r : reader) =
+let read_o ?parent ?(max_iterations = max_int) (r : reader) =
   let span = Instr.start ?parent r.probe in
   let ctx = Instr.ctx span in
   let params = Net.params r.net in
   let threshold = Params.read_quorum params in
   let modulus = r.modulus in
   (* Lines N2-N7: sanity-check the local pair (pwsn, pv) against a quorum
-     of helping values.  READ(false) does not reset any helping_val. *)
+     of helping values.  READ(false) does not reset any helping_val.  The
+     check is advisory, so an expired attempt simply skips it. *)
   if r.sanity_check then begin
     let round =
       Net.ss_broadcast ~span:ctx r.net r.port ~inst:r.inst
         (Messages.Read false)
     in
-    let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in
-    match Quorum.find_help ~threshold (List.map snd acks) with
+    let a =
+      Collect.attempt_once ~net:r.net ~port:r.port ~round ~attempt:0
+        ~filter:Collect.read_filter
+    in
+    match Quorum.find_help ~threshold (List.map snd a.Collect.payloads) with
     | Some { Messages.sn; v } ->
       if Seqnum.gt_cd ~modulus r.pwsn sn then begin
         r.pwsn <- sn;
@@ -99,17 +110,31 @@ let read ?parent ?(max_iterations = max_int) (r : reader) =
     | None -> ()
   end;
   (* Lines 07-18. *)
+  let timeout_budget =
+    match Params.retry params with
+    | None -> max_int
+    | Some rc -> max 1 rc.Params.attempts
+  in
   let new_read = ref true in
+  let attempts = ref 0 in
+  let timeouts = ref 0 in
+  let best_acks = ref 0 in
   let rec loop budget =
-    if budget <= 0 then None
+    if budget <= 0 || !timeouts >= timeout_budget then None
     else begin
       r.iterations <- r.iterations + 1;
+      incr attempts;
       let round =
         Net.ss_broadcast ~span:ctx r.net r.port ~inst:r.inst
           (Messages.Read !new_read)
       in
       new_read := false;
-      let acks = Collect.ack_reads ~net:r.net ~port:r.port ~round in
+      let a =
+        Collect.attempt_once ~net:r.net ~port:r.port ~round
+          ~attempt:(!attempts - 1) ~filter:Collect.read_filter
+      in
+      if a.Collect.acks > !best_acks then best_acks := a.Collect.acks;
+      let acks = a.Collect.payloads in
       match Quorum.find_cell ~threshold (List.map fst acks) with
       | Some { Messages.sn; v } ->
         if Seqnum.gt_cd ~modulus sn r.pwsn then begin
@@ -131,13 +156,33 @@ let read ?parent ?(max_iterations = max_int) (r : reader) =
           r.pv <- v;
           r.help_returns <- r.help_returns + 1;
           Some v
-        | None -> loop (budget - 1))
+        | None ->
+          if a.Collect.expired then begin
+            incr timeouts;
+            if !timeouts < timeout_budget && budget > 1 then
+              Collect.backoff_wait ~net:r.net ~port:r.port ~attempt:!timeouts
+          end;
+          loop (budget - 1))
     end
   in
   let result = loop max_iterations in
+  let outcome =
+    match result with
+    | Some v -> Outcome.Ok v
+    | None ->
+      let reason =
+        Collect.reason_of ~net:r.net ~port:r.port ~attempts:(max 1 !attempts)
+          ~acks:!best_acks ~need:(Params.ack_wait params)
+      in
+      if !best_acks >= threshold then Outcome.Degraded reason
+      else Outcome.Timed_out reason
+  in
   Sim.Trace.incr (Sim.Engine.trace (Net.engine r.net)) "read.ops";
-  Instr.finish ~ok:(result <> None) r.probe span;
-  result
+  Instr.finish ~ok:(Outcome.is_ok outcome) r.probe span;
+  outcome
+
+let read ?parent ?max_iterations (r : reader) =
+  Outcome.to_option (read_o ?parent ?max_iterations r)
 
 let wsn w = w.wsn
 

@@ -43,6 +43,19 @@ val read :
     Must run inside a fiber.  [None] only under a finite [max_iterations]
     budget exhausted (see {!Swsr_regular.read}). *)
 
+val write_o : ?parent:Obs.Trace_ctx.span -> writer -> Value.t -> unit Outcome.t
+(** {!write} with a typed service-level outcome (see
+    {!Swsr_regular.write_o}). *)
+
+val read_o :
+  ?parent:Obs.Trace_ctx.span ->
+  ?max_iterations:int ->
+  reader ->
+  Value.t Outcome.t
+(** {!read} with a typed service-level outcome (see
+    {!Swsr_regular.read_o}); the sanity phase's collection attempt is also
+    deadline-bounded (and skipped when it expires — it is advisory). *)
+
 val wsn : writer -> Seqnum.t
 (** Current write sequence number (inspection). *)
 

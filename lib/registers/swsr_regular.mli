@@ -31,6 +31,21 @@ val read :
     assumptions; the bound exists so experiments can run the algorithm
     outside those assumptions without hanging. *)
 
+val write_o : ?parent:Obs.Trace_ctx.span -> writer -> Value.t -> unit Outcome.t
+(** Like {!write} but reporting the service level.  With a {!Params.retry}
+    policy installed the wait is deadline-bounded with retry/backoff and
+    never hangs; without one this is exactly {!write} (always [Ok] in the
+    asynchronous model). *)
+
+val read_o :
+  ?parent:Obs.Trace_ctx.span ->
+  ?max_iterations:int ->
+  reader ->
+  Value.t Outcome.t
+(** Like {!read} but reporting the service level; under a retry policy each
+    inquiry round is deadline-bounded and the total number of expired
+    rounds is capped by the policy's attempt budget. *)
+
 val reader_iterations : reader -> int
 (** Total inquiry-loop iterations executed by this reader so far (cost
     metric for experiment E5). *)

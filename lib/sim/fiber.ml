@@ -3,19 +3,39 @@ open Effect.Deep
 
 type status = Running | Done | Failed of exn
 
-type handle = { mutable status : status; name : string }
+type handle = {
+  mutable status : status;
+  name : string;
+  mutable blocked : string option;
+}
 
 type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 
-let suspend register = perform (Suspend register)
+(* The fiber currently executing, if any.  Maintained across both the
+   initial run (spawn) and every resumption (the [register] callback wraps
+   [continue]), so [suspend ~label] can stamp the right handle and the
+   watchdog can read the stamps of wedged fibers afterwards. *)
+let current : handle option ref = ref None
+
+let suspend ?label register =
+  (match (!current, label) with
+  | Some h, Some l -> h.blocked <- Some l
+  | Some _, None | None, _ -> ());
+  let v = perform (Suspend register) in
+  (match !current with Some h -> h.blocked <- None | None -> ());
+  v
 
 let spawn ?(name = "fiber") f =
-  let h = { status = Running; name } in
+  let h = { status = Running; name; blocked = None } in
   let handler =
     {
-      retc = (fun () -> h.status <- Done);
+      retc =
+        (fun () ->
+          h.blocked <- None;
+          h.status <- Done);
       exnc =
         (fun e ->
+          h.blocked <- None;
           h.status <- Failed e;
           raise e);
       effc =
@@ -24,13 +44,24 @@ let spawn ?(name = "fiber") f =
           | Suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
-                register (fun v -> continue k v))
+                register (fun v ->
+                    let prev = !current in
+                    current := Some h;
+                    Fun.protect
+                      ~finally:(fun () -> current := prev)
+                      (fun () -> continue k v)))
           | _ -> None);
     }
   in
-  match_with f () handler;
+  let prev = !current in
+  current := Some h;
+  Fun.protect
+    ~finally:(fun () -> current := prev)
+    (fun () -> match_with f () handler);
   h
 
 let status h = h.status
 
 let name h = h.name
+
+let blocked_on h = match h.status with Running -> h.blocked | _ -> None

@@ -25,8 +25,16 @@ val status : handle -> status
 
 val name : handle -> string
 
-val suspend : (('a -> unit) -> unit) -> 'a
+val suspend : ?label:string -> (('a -> unit) -> unit) -> 'a
 (** [suspend register] suspends the calling fiber. [register resume] must
     arrange for [resume v] to be called exactly once later (typically from
     an engine event); the suspended fiber then continues with [v].
-    Must be called from within a fiber. *)
+    Must be called from within a fiber.  [label], when given, records what
+    the fiber is waiting on (e.g. ["Mailbox.recv"]) for the deadlock
+    watchdog; it is cleared on resumption. *)
+
+val blocked_on : handle -> string option
+(** The label of the suspension the fiber is currently parked on, if it is
+    [Running] and its last {!suspend} carried one.  [None] for finished
+    fibers and unlabeled waits.  Lets a harness turn a silent engine
+    quiescence with live fibers into a diagnosed deadlock report. *)

@@ -24,12 +24,14 @@ let install_waiter t resume =
 
 let recv t =
   if not (Queue.is_empty t.queue) then Queue.pop t.queue
-  else Fiber.suspend (fun resume -> ignore (install_waiter t resume))
+  else
+    Fiber.suspend ~label:"Mailbox.recv" (fun resume ->
+        ignore (install_waiter t resume))
 
 let recv_until ~engine ~deadline t =
   if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
   else
-    Fiber.suspend (fun resume ->
+    Fiber.suspend ~label:"Mailbox.recv_until" (fun resume ->
         let settled = ref false in
         let token =
           install_waiter t (fun m ->

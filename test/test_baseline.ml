@@ -113,7 +113,7 @@ let read_pressure_comparison seed =
   (* Quiescence-dependent register. *)
   let scn1 =
     Harness.Scenario.create ~seed
-      ~params:(Params.create_unchecked ~n:6 ~f:1 ~mode:Params.Async) ()
+      ~params:(Params.create_unchecked ~n:6 ~f:1 ~mode:Params.Async ()) ()
   in
   Byzantine.Adversary.compromise scn1.Harness.Scenario.adversary 0
     Byzantine.Behavior.equivocate;

@@ -19,7 +19,7 @@ let test_random_schedules_do_not_starve () =
   (* Even at n = 6 (< 8t+1), 8 random seeds of continuous writes plus an
      equivocator never starve a read: the scripted adversary below is
      genuinely needed. *)
-  let params = Params.create_unchecked ~n:6 ~f:1 ~mode:Params.Async in
+  let params = Params.create_unchecked ~n:6 ~f:1 ~mode:Params.Async () in
   let starved = ref 0 in
   for seed = 1 to 8 do
     let scn = Harness.Scenario.create ~seed ~params () in

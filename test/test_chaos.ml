@@ -18,13 +18,60 @@ let test_strategy_round_trip () =
       Strategy.Collude;
       Strategy.Flaky 0.3341;
       Strategy.Flaky (1.0 /. 3.0);
+      Strategy.Flaky 0.0;
+      Strategy.Flaky 1.0;
       Strategy.Delayed 40;
+      Strategy.Delayed 0;
       Strategy.Crash 5;
+      Strategy.Crash 0;
+      Strategy.Crash_recover { down = 120; wipe = `Arbitrary };
+      Strategy.Crash_recover { down = 0; wipe = `Reset };
+      Strategy.Crash_recover { down = 1; wipe = `Keep };
     ];
   check_true "unknown name rejected"
     (Result.is_error (Strategy.of_string "nonsense"));
   check_true "bad probability rejected"
-    (Result.is_error (Strategy.of_string "flaky:2.0"))
+    (Result.is_error (Strategy.of_string "flaky:2.0"));
+  check_true "bad wipe rejected"
+    (Result.is_error (Strategy.of_string "crashrec:10:everything"));
+  check_true "missing wipe rejected"
+    (Result.is_error (Strategy.of_string "crashrec:10"))
+
+(* Satellite: the %.17g float path and every other constructor, as a
+   generated property rather than a hand-picked list. *)
+let gen_strategy =
+  QCheck.Gen.(
+    let* tag = int_range 0 8 in
+    match tag with
+    | 0 -> return Strategy.Silent
+    | 1 -> return Strategy.Garbage
+    | 2 -> return Strategy.Equivocate
+    | 3 -> return Strategy.Frozen
+    | 4 -> return Strategy.Collude
+    | 5 ->
+      (* Edge probabilities included: 0 and 1 are legal and must
+         round-trip through the %.17g printer exactly. *)
+      let* p = oneof [ return 0.0; return 1.0; float_bound_inclusive 1.0 ] in
+      return (Strategy.Flaky p)
+    | 6 ->
+      let* t = oneof [ return 0; int_range 0 10_000 ] in
+      return (Strategy.Delayed t)
+    | 7 ->
+      let* k = oneof [ return 0; int_range 0 1_000 ] in
+      return (Strategy.Crash k)
+    | _ ->
+      let* down = oneof [ return 0; int_range 0 10_000 ] in
+      let* wipe = oneofl [ `Arbitrary; `Reset; `Keep ] in
+      return (Strategy.Crash_recover { down; wipe }))
+
+let prop_strategy_round_trip =
+  QCheck.Test.make ~count:500
+    ~name:"every strategy wire name round-trips exactly"
+    (QCheck.make gen_strategy ~print:Strategy.to_string)
+    (fun s ->
+      match Strategy.of_string (Strategy.to_string s) with
+      | Ok s' -> Strategy.equal s s'
+      | Error e -> QCheck.Test.fail_report e)
 
 (* --- schedules --- *)
 
@@ -70,6 +117,56 @@ let test_disturbance_points () =
   in
   check_true "window close included, duplicates merged"
     (Schedule.disturbance_points sched = [ 50; 80; 100 ])
+
+let test_crash_events_round_trip () =
+  let sched =
+    Schedule.sort
+      [
+        Schedule.Crash { at = 40; server = 2; down_for = Some 120 };
+        Schedule.Crash { at = 90; server = 0; down_for = None };
+        Schedule.Inject { at = 10; prefix = "server." };
+      ]
+  in
+  check_true "recovery instants are disturbance points"
+    (Schedule.disturbance_points sched = [ 10; 40; 90; 160 ]);
+  match Schedule.of_json (Schedule.to_json sched) with
+  | Ok sched' ->
+    check_true "crash events JSON round-trip" (Schedule.equal sched sched')
+  | Error e -> Alcotest.fail e
+
+(* --- crash-recovery bursts and the stabilization oracle --- *)
+
+let test_recovery_run_and_artifact () =
+  let cfg =
+    {
+      Recovery.default_config with
+      Recovery.n = 6;
+      bursts = 1;
+      crashed = 1;
+      down_for = 40;
+      first_at = 60;
+      gap = 400;
+      writes = 20;
+      reads = 24;
+      gap_hi = 4;
+    }
+  in
+  let r = Recovery.run cfg ~seed:21 in
+  check_true "no stuck fibers" (r.Recovery.stuck = []);
+  check_true "the burst stabilized" r.Recovery.converged;
+  check_int "every write accounted for" cfg.Recovery.writes
+    (r.Recovery.write_ops.Recovery.ok
+    + r.Recovery.write_ops.Recovery.degraded
+    + r.Recovery.write_ops.Recovery.timed_out);
+  check_int "every read accounted for" cfg.Recovery.reads
+    (r.Recovery.read_ops.Recovery.ok
+    + r.Recovery.read_ops.Recovery.degraded
+    + r.Recovery.read_ops.Recovery.timed_out);
+  (match Recovery.of_json (Recovery.to_json r) with
+  | Error e -> Alcotest.fail e
+  | Ok r' -> check_true "report JSON round-trips" (Recovery.matches r r'));
+  let replayed = Recovery.replay r in
+  check_true "replay is bit-identical" (Recovery.matches r replayed)
 
 (* --- trials --- *)
 
@@ -207,8 +304,12 @@ let test_roam_bookkeeping () =
 let tests =
   [
     case "strategy wire names round-trip" test_strategy_round_trip;
+    qcheck prop_strategy_round_trip;
     case "generation is seed-deterministic" test_generate_deterministic;
     case "schedule JSON round-trips" test_schedule_json_round_trip;
+    case "crash events round-trip" test_crash_events_round_trip;
+    case "crash-recovery burst stabilizes and replays"
+      test_recovery_run_and_artifact;
     case "disturbance points" test_disturbance_points;
     case "trials are seed-deterministic" test_run_trial_deterministic;
     case "campaign clean under the bound" test_campaign_clean_under_bound;

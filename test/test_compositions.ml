@@ -158,7 +158,7 @@ let test_concurrent_instances_under_byzantine () =
 let lossy = Net.Stabilizing { loss = 0.2; dup = 0.1; retrans = 30 }
 
 let test_mwmr_over_lossy () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:41 ~medium:lossy ~params () in
   let cfg = Mwmr.default_config ~m:2 in
   let p0 = Mwmr.process ~net:scn.Harness.Scenario.net ~cfg ~id:0 ~client_id:300 in
@@ -176,7 +176,7 @@ let test_mwmr_over_lossy () =
     !got
 
 let test_kv_over_lossy () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:42 ~medium:lossy ~params () in
   Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 0
     Byzantine.Behavior.garbage;

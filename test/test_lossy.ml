@@ -263,7 +263,7 @@ let lossy_medium =
   Registers.Net.Stabilizing { loss = 0.2; dup = 0.1; retrans = 30 }
 
 let test_register_over_lossy_medium () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:5 ~medium:lossy_medium ~params () in
   let w = Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 () in
   let r = Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:101 ~inst:0 () in
@@ -286,7 +286,7 @@ let test_register_over_lossy_medium () =
     !got
 
 let test_register_over_lossy_medium_concurrent () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:8 ~medium:lossy_medium ~params () in
   Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 4
     Byzantine.Behavior.garbage;
@@ -314,7 +314,7 @@ let test_register_over_lossy_medium_concurrent () =
     Alcotest.failf "%a" Oracles.Atomicity.Sw.pp report
 
 let test_register_over_lossy_medium_with_transport_fault () =
-  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+  let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed:9 ~medium:lossy_medium ~params () in
   let w = Swsr_atomic.writer ~net:scn.Harness.Scenario.net ~client_id:100 ~inst:0 () in
   let r = Swsr_atomic.reader ~net:scn.Harness.Scenario.net ~client_id:101 ~inst:0 () in

@@ -51,6 +51,51 @@ let test_recv_until_message_first () =
         Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 10) mb);
   check_true "message won the race" (!result = Some 5)
 
+let test_recv_until_deadline_is_now () =
+  (* Boundary: a deadline equal to the current instant still yields a
+     timeout event at that same instant — the wait gives up without the
+     clock moving, rather than blocking forever or raising. *)
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  Sim.Engine.schedule e ~delay:10 ignore;
+  Sim.Engine.run e;
+  check_int "clock at 10" 10 (Sim.Vtime.to_int (Sim.Engine.now e));
+  let mb = Sim.Mailbox.create () in
+  let result = ref (Some 99) in
+  run_engine_fiber e (fun () ->
+      result :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 10) mb);
+  check_true "immediate timeout" (!result = None);
+  check_int "clock unchanged" 10 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_recv_until_deadline_in_past () =
+  (* Boundary: a deadline already behind the clock is clamped to "now"
+     by the engine, so the wait times out at the current instant instead
+     of dying in the heap with a stale timestamp. *)
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  Sim.Engine.schedule e ~delay:20 ignore;
+  Sim.Engine.run e;
+  let mb = Sim.Mailbox.create () in
+  let result = ref (Some 99) in
+  run_engine_fiber e (fun () ->
+      result :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 5) mb);
+  check_true "past deadline times out" (!result = None);
+  check_int "clock did not rewind" 20 (Sim.Vtime.to_int (Sim.Engine.now e))
+
+let test_recv_until_queued_message_beats_past_deadline () =
+  (* Even with an expired deadline, an already-queued message wins: the
+     fast path drains the queue before any timer is armed. *)
+  let e = Sim.Engine.create ~rng:(Sim.Rng.create 1) () in
+  Sim.Engine.schedule e ~delay:20 ignore;
+  Sim.Engine.run e;
+  let mb = Sim.Mailbox.create () in
+  Sim.Mailbox.push mb 42;
+  let result = ref None in
+  run_engine_fiber e (fun () ->
+      result :=
+        Sim.Mailbox.recv_until ~engine:e ~deadline:(Sim.Vtime.of_int 5) mb);
+  check_true "queued message delivered" (!result = Some 42)
+
 let test_stale_timer_does_not_clobber () =
   (* After a timeout, the same fiber immediately waits again; the stale
      timer event must not disturb the second wait. *)
@@ -90,6 +135,10 @@ let tests =
     case "double wait rejected" test_double_wait_rejected;
     case "recv_until timeout" test_recv_until_timeout;
     case "recv_until message first" test_recv_until_message_first;
+    case "recv_until deadline == now" test_recv_until_deadline_is_now;
+    case "recv_until deadline in past" test_recv_until_deadline_in_past;
+    case "recv_until queued beats past deadline"
+      test_recv_until_queued_message_beats_past_deadline;
     case "stale timer" test_stale_timer_does_not_clobber;
     case "late message queued" test_message_after_timeout_stays_queued;
     case "drain" test_drain;

@@ -4,7 +4,7 @@ open Registers
 let setup ?(n = 9) ?(f = 1) ?(seed = 5) () =
   let rng = Sim.Rng.create seed in
   let engine = Sim.Engine.create ~rng:(Sim.Rng.split rng) () in
-  let params = Params.create_exn ~n ~f ~mode:Params.Async in
+  let params = Params.create_exn ~n ~f ~mode:Params.Async () in
   let net =
     Net.create ~engine ~params ~link_delay:(fun rng ->
         Sim.Link.uniform rng ~lo:1 ~hi:10) ()

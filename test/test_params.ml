@@ -4,39 +4,39 @@ open Registers
 let sync = Params.Sync { max_delay = 10; slack = 2 }
 
 let test_async_bound () =
-  check_true "9,1 ok" (Result.is_ok (Params.create ~n:9 ~f:1 ~mode:Params.Async));
+  check_true "9,1 ok" (Result.is_ok (Params.create ~n:9 ~f:1 ~mode:Params.Async ()));
   check_true "8,1 rejected"
-    (Result.is_error (Params.create ~n:8 ~f:1 ~mode:Params.Async));
+    (Result.is_error (Params.create ~n:8 ~f:1 ~mode:Params.Async ()));
   check_true "17,2 ok"
-    (Result.is_ok (Params.create ~n:17 ~f:2 ~mode:Params.Async));
+    (Result.is_ok (Params.create ~n:17 ~f:2 ~mode:Params.Async ()));
   check_true "16,2 rejected"
-    (Result.is_error (Params.create ~n:16 ~f:2 ~mode:Params.Async))
+    (Result.is_error (Params.create ~n:16 ~f:2 ~mode:Params.Async ()))
 
 let test_sync_bound () =
-  check_true "4,1 ok" (Result.is_ok (Params.create ~n:4 ~f:1 ~mode:sync));
-  check_true "3,1 rejected" (Result.is_error (Params.create ~n:3 ~f:1 ~mode:sync));
-  check_true "7,2 ok" (Result.is_ok (Params.create ~n:7 ~f:2 ~mode:sync))
+  check_true "4,1 ok" (Result.is_ok (Params.create ~n:4 ~f:1 ~mode:sync ()));
+  check_true "3,1 rejected" (Result.is_error (Params.create ~n:3 ~f:1 ~mode:sync ()));
+  check_true "7,2 ok" (Result.is_ok (Params.create ~n:7 ~f:2 ~mode:sync ()))
 
 let test_unchecked () =
-  let p = Params.create_unchecked ~n:5 ~f:2 ~mode:Params.Async in
+  let p = Params.create_unchecked ~n:5 ~f:2 ~mode:Params.Async () in
   check_false "bound violated" (Params.satisfies_bound p);
   check_int "n kept" 5 p.Params.n
 
 let test_zero_faults () =
-  let p = Params.create_exn ~n:1 ~f:0 ~mode:Params.Async in
+  let p = Params.create_exn ~n:1 ~f:0 ~mode:Params.Async () in
   check_int "ack wait 1" 1 (Params.ack_wait p);
   check_int "read quorum 1" 1 (Params.read_quorum p);
   check_int "help threshold 1" 1 (Params.help_refresh_threshold p)
 
 let test_async_thresholds () =
-  let p = Params.create_exn ~n:17 ~f:2 ~mode:Params.Async in
+  let p = Params.create_exn ~n:17 ~f:2 ~mode:Params.Async () in
   check_int "ack wait n-t" 15 (Params.ack_wait p);
   check_int "read quorum 2t+1" 5 (Params.read_quorum p);
   check_int "help threshold 4t+1" 9 (Params.help_refresh_threshold p);
   check_true "no timeout" (Params.sync_timeout p = None)
 
 let test_sync_thresholds () =
-  let p = Params.create_exn ~n:7 ~f:2 ~mode:sync in
+  let p = Params.create_exn ~n:7 ~f:2 ~mode:sync () in
   check_int "ack wait n" 7 (Params.ack_wait p);
   check_int "read quorum t+1" 3 (Params.read_quorum p);
   check_int "help threshold t+1" 3 (Params.help_refresh_threshold p);
@@ -44,10 +44,10 @@ let test_sync_thresholds () =
 
 let test_invalid_sizes () =
   Alcotest.check_raises "n=0" (Invalid_argument "Params: n must be positive")
-    (fun () -> ignore (Params.create_unchecked ~n:0 ~f:0 ~mode:Params.Async));
+    (fun () -> ignore (Params.create_unchecked ~n:0 ~f:0 ~mode:Params.Async ()));
   Alcotest.check_raises "f<0"
     (Invalid_argument "Params: f must be non-negative") (fun () ->
-      ignore (Params.create_unchecked ~n:3 ~f:(-1) ~mode:Params.Async))
+      ignore (Params.create_unchecked ~n:3 ~f:(-1) ~mode:Params.Async ()))
 
 let tests =
   [

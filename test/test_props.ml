@@ -35,7 +35,7 @@ let print_config (seed, n, f, strategies, gap_hi, writes, reads) =
 let arb_config = QCheck.make gen_config ~print:print_config
 
 let run_swsr_atomic (seed, n, f, strategies, gap_hi, writes, reads) =
-  let params = Params.create_exn ~n ~f ~mode:Params.Async in
+  let params = Params.create_exn ~n ~f ~mode:Params.Async () in
   let scn = Harness.Scenario.create ~seed ~params () in
   List.iteri
     (fun i idx ->
@@ -59,7 +59,7 @@ let run_swsr_atomic (seed, n, f, strategies, gap_hi, writes, reads) =
   scn
 
 let run_swsr_atomic_heavy_tail (seed, n, f, strategies, gap_hi, writes, reads) =
-  let params = Params.create_exn ~n ~f ~mode:Params.Async in
+  let params = Params.create_exn ~n ~f ~mode:Params.Async () in
   let rng = Sim.Rng.create seed in
   let engine = Sim.Engine.create ~rng:(Sim.Rng.split rng) () in
   let net =
@@ -147,7 +147,7 @@ let prop_swsr_stabilizes_after_random_fault =
     ~count:80
     QCheck.(pair arb_config (QCheck.make QCheck.Gen.(int_range 100 900)))
     (fun ((seed, n, f, strategies, gap_hi, writes, reads), fault_at) ->
-      let params = Params.create_exn ~n ~f ~mode:Params.Async in
+      let params = Params.create_exn ~n ~f ~mode:Params.Async () in
       let scn = Harness.Scenario.create ~seed ~params () in
       List.iteri
         (fun i idx ->
@@ -207,7 +207,7 @@ let prop_mwmr_atomic =
          return (seed, byz, gap_hi))
        ~print:(fun (s, b, g) -> Printf.sprintf "seed=%d byz=%d gap=%d" s b g))
     (fun (seed, byz, gap_hi) ->
-      let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async in
+      let params = Params.create_exn ~n:9 ~f:1 ~mode:Params.Async () in
       let scn = Harness.Scenario.create ~seed ~params () in
       Byzantine.Adversary.compromise scn.Harness.Scenario.adversary 0
         (strategy scn byz 0);

@@ -73,7 +73,7 @@ let test_sync_delay_validation () =
     (fun () ->
       let params =
         Params.create_exn ~n:4 ~f:1
-          ~mode:(Params.Sync { max_delay = 5; slack = 1 })
+          ~mode:(Params.Sync { max_delay = 5; slack = 1 }) ()
       in
       ignore (Harness.Scenario.create ~delay:(1, 50) ~params ()))
 
@@ -85,6 +85,38 @@ let test_message_accounting () =
   check_int "messages counted" 27 (Harness.Scenario.messages_sent scn);
   check_int "broadcasts counted" 2 (Harness.Scenario.broadcasts scn)
 
+let test_watchdog_diagnoses_deadlock () =
+  (* A job parked on a mailbox nobody feeds: the engine drains, and the
+     watchdog must name the stuck fiber and what it blocks on instead of
+     letting the harness report a silent success. *)
+  let scn = async_scenario () in
+  let mb = Sim.Mailbox.create () in
+  let handles =
+    [
+      ("starved", Sim.Fiber.spawn ~name:"starved" (fun () ->
+           ignore (Sim.Mailbox.recv mb)));
+      ("fine", Sim.Fiber.spawn ~name:"fine" (fun () ->
+           Harness.Scenario.sleep scn 5));
+    ]
+  in
+  Harness.Scenario.run scn;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Harness.Scenario.stuck_jobs handles with
+  | [ s ] ->
+    check_true "names the job" (contains s "starved");
+    check_true "names the block label" (contains s "Mailbox.recv")
+  | other -> Alcotest.failf "expected 1 stuck job, got %d" (List.length other));
+  (try
+     Harness.Scenario.check_jobs handles;
+     Alcotest.fail "check_jobs must raise Deadlock"
+   with Harness.Scenario.Deadlock msg ->
+     check_true "deadlock message lists the fiber" (contains msg "starved"));
+  Sim.Mailbox.push mb ()
+
 let tests =
   [
     case "deterministic replay" test_deterministic_replay;
@@ -94,4 +126,5 @@ let tests =
     case "sleep" test_sleep_advances_time;
     case "sync delay validation" test_sync_delay_validation;
     case "message accounting" test_message_accounting;
+    case "watchdog diagnoses deadlock" test_watchdog_diagnoses_deadlock;
   ]

@@ -13,13 +13,13 @@ let value = Alcotest.testable Registers.Value.pp Registers.Value.equal
 (* A standard asynchronous deployment: n servers, all honest, uniform
    delays in [1,10]. *)
 let async_scenario ?(seed = 7) ?(n = 9) ?(f = 1) () =
-  let params = Registers.Params.create_exn ~n ~f ~mode:Registers.Params.Async in
+  let params = Registers.Params.create_exn ~n ~f ~mode:Registers.Params.Async () in
   Harness.Scenario.create ~seed ~params ()
 
 let sync_scenario ?(seed = 7) ?(n = 4) ?(f = 1) ?(max_delay = 10) () =
   let params =
     Registers.Params.create_exn ~n ~f
-      ~mode:(Registers.Params.Sync { max_delay; slack = 3 })
+      ~mode:(Registers.Params.Sync { max_delay; slack = 3 }) ()
   in
   Harness.Scenario.create ~seed ~params ()
 
